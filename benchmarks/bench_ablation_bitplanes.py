@@ -1,0 +1,50 @@
+"""Ablation: bitplane precision (num_planes) of the PMGARD encoders.
+
+More planes push the lossless floor deeper but add archival segments.
+The retrieved size for a moderate tolerance is nearly independent of the
+plane budget (only the planes actually needed are fetched) — the defining
+economy of progressive precision.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.core.retrieval import refactor_dataset
+
+PLANE_BUDGETS = (24, 32, 48, 60)
+
+
+def test_ablation_num_planes(benchmark, ge_small, capsys):
+    vel = {k: v for k, v in ge_small.fields.items() if k.startswith("velocity")}
+    ranges = {k: float(v.max() - v.min()) for k, v in vel.items()}
+    qoi = repro.total_velocity()
+    truth = qoi.value({k: (v, 0.0) for k, v in vel.items()})
+    qrange = float(truth.max() - truth.min())
+
+    def measure():
+        rows = []
+        for planes in PLANE_BUDGETS:
+            refactorer = repro.PMGARDRefactorer(basis="hierarchical", num_planes=planes)
+            refactored = refactor_dataset(vel, refactorer)
+            archived = sum(r.total_bytes for r in refactored.values())
+            retriever = repro.QoIRetriever(refactored, ranges)
+            result = retriever.retrieve([repro.QoIRequest("VTOT", qoi, 1e-4, qrange)])
+            assert result.all_satisfied
+            rows.append([planes, archived, result.total_bytes])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["planes", "archived bytes", "retrieved bytes (tau 1e-4)"],
+            rows,
+            title="Ablation: PMGARD-HB bitplane budget",
+        ))
+
+    archived = [r[1] for r in rows]
+    retrieved = [r[2] for r in rows]
+    assert archived == sorted(archived)  # deeper floor costs archive space
+    # ...but the retrieval cost for a fixed tolerance stays roughly flat
+    assert max(retrieved) <= int(min(retrieved) * 1.25)

@@ -1,0 +1,49 @@
+"""Ablation: Algorithm 4's error-bound reduction factor c.
+
+The paper fixes c = 1.5.  Smaller factors tighten gently (more rounds,
+less over-shoot); larger factors converge in fewer rounds but overshoot
+the necessary bound and retrieve more data.  This bench maps the
+trade-off.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.qois import total_pressure
+from repro.core.retrieval import QoIRequest, QoIRetriever
+
+FACTORS = (1.1, 1.5, 2.0, 4.0)
+
+
+def test_ablation_reduction_factor(benchmark, ge_small, pmgard_hb_cache, capsys):
+    refactored = pmgard_hb_cache(ge_small)
+    qoi = total_pressure()
+    env0 = {k: (v, 0.0) for k, v in ge_small.fields.items()}
+    vals = qoi.value(env0)
+    qrange = float(np.max(vals) - np.min(vals))
+    ranges = ge_small.value_ranges()
+
+    def measure():
+        rows = []
+        for c in FACTORS:
+            retriever = QoIRetriever(refactored, ranges, reduction_factor=c)
+            result = retriever.retrieve(
+                [QoIRequest("PT", qoi, 1e-4, qrange)]
+            )
+            assert result.all_satisfied
+            rows.append([c, result.rounds, result.total_bytes,
+                         f"{result.estimated_errors['PT'] / qrange:.2e}"])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["factor c", "rounds", "bytes", "relative estimate"],
+            rows,
+            title="Ablation: Algorithm 4 reduction factor (PT @ 1e-4)",
+        ))
+
+    by_c = {r[0]: r for r in rows}
+    # gentler factors never fetch more than aggressive ones
+    assert by_c[1.1][2] <= by_c[4.0][2]

@@ -1,0 +1,43 @@
+"""Extension bench: the ZFP-family progressive compressor joins Fig. 2.
+
+The paper cites ZFP as the other bitplane-progressive compressor family;
+this bench adds our block-transform PZFP to the Fig. 2 protocol and
+checks it honours Definition 1 while remaining in the same bitrate
+regime as the multilevel methods.
+"""
+
+import pytest
+
+from repro.analysis.rate_distortion import primary_rd_sweep
+from repro.analysis.reporting import format_curve
+from repro.compressors.base import make_refactorer
+
+REQUESTED = [0.1 * 2.0**-i for i in range(1, 21, 2)]
+
+
+@pytest.mark.parametrize("field", ["velocity_x", "pressure"])
+def test_pzfp_vs_pmgard_hb(benchmark, ge_small, field, capsys):
+    data = ge_small.fields[field]
+
+    def sweep():
+        return {
+            name: primary_rd_sweep(make_refactorer(name).refactor(data), data, REQUESTED)
+            for name in ("pzfp", "pmgard_hb")
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        for name, points in curves.items():
+            print(format_curve(f"Fig.2-ext {field} / {name}", points))
+            print()
+
+    for name, points in curves.items():
+        rates = [p.bitrate for p in points]
+        assert rates == sorted(rates), name
+        for p in points:
+            assert p.actual <= p.estimated * (1 + 1e-9), name
+            assert p.estimated <= p.requested * (1 + 1e-12), name
+    # both bitplane-progressive families should land in the same regime
+    final_ratio = curves["pzfp"][-1].bitrate / curves["pmgard_hb"][-1].bitrate
+    assert 0.2 < final_ratio < 5.0

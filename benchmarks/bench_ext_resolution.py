@@ -1,0 +1,52 @@
+"""Extension bench: progression in resolution vs progression in precision.
+
+§II of the paper distinguishes the two progression families and notes
+PMGARD supports both.  This bench compares them on the same PMGARD-HB
+representation: for each byte budget, which progression delivers the
+lower L-infinity error?  (Precision progression is strictly finer
+grained; resolution progression fetches whole levels.)
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.compressors.base import make_refactorer
+
+
+def test_resolution_vs_precision(benchmark, nyx, capsys):
+    data = nyx.fields["velocity_x"]
+    vrange = float(np.ptp(data))
+    refactored = make_refactorer("pmgard_hb").refactor(data)
+
+    def measure():
+        rows = []
+        res_reader = refactored.resolution_reader()
+        for k in range(res_reader.num_levels + 1):
+            rec = res_reader.request_levels(k)
+            err = float(np.max(np.abs(rec - data))) / vrange
+            rows.append([
+                f"levels={k}", res_reader.bytes_retrieved, f"{err:.3e}",
+                f"{res_reader.current_error_bound / vrange:.3e}",
+            ])
+        prec_reader = refactored.reader()
+        for rel_eb in (1e-1, 1e-2, 1e-3, 1e-4, 1e-6, 1e-8):
+            rec = prec_reader.request(rel_eb * vrange)
+            err = float(np.max(np.abs(rec - data))) / vrange
+            rows.append([
+                f"precision eb={rel_eb:.0e}", prec_reader.bytes_retrieved,
+                f"{err:.3e}", f"{prec_reader.current_error_bound / vrange:.3e}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["progression", "bytes", "actual rel err", "guaranteed"],
+            rows,
+            title="Resolution vs precision progression (NYX velocity_x, PMGARD-HB)",
+        ))
+
+    # sanity: every reported error sits under its guarantee
+    for row in rows:
+        assert float(row[2]) <= float(row[3]) * (1 + 1e-9) or float(row[3]) == float("inf")

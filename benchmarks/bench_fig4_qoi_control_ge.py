@@ -1,0 +1,71 @@
+"""Fig. 4: max estimated / actual QoI error vs requested QoI error, GE.
+
+Paper setting: GE-small with PMGARD-HB; all six derivable QoIs of
+Eq. (1)-(6); requested relative errors tau = 0.1 * 2^-i.
+
+Expected shape: actual <= estimated <= requested everywhere; visible
+estimation gap for VTOT at low bitrates (near-zero velocities) and the
+largest gap for PT (the most complex composition); T and C nearly
+identical trends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rate_distortion import qoi_error_sweep
+from repro.analysis.reporting import format_curve
+from repro.core.masking import ZeroMask
+from repro.core.qois import GE_QOIS
+
+TOLERANCES = [0.1 * 2.0**-i for i in range(0, 20, 2)]
+
+
+@pytest.mark.parametrize("qoi_name", sorted(GE_QOIS))
+def test_fig4_qoi_error_control(benchmark, ge_small, pmgard_hb_cache, qoi_name, capsys):
+    refactored = pmgard_hb_cache(ge_small)
+    qoi = GE_QOIS[qoi_name]
+    vel = [ge_small.fields[k] for k in ("velocity_x", "velocity_y", "velocity_z")]
+    mask = ZeroMask.from_fields(*vel)
+    masks = (
+        {k: mask for k in ("velocity_x", "velocity_y", "velocity_z")}
+        if "velocity_x" in qoi.variables()
+        else None
+    )
+
+    def sweep():
+        return qoi_error_sweep(
+            refactored, ge_small.fields, qoi, qoi_name, TOLERANCES, masks=masks
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_curve(f"Fig.4 GE-small / {qoi_name} (PMGARD-HB)", points))
+
+    for p in points:
+        # the paper's guarantee chain: actual <= estimated <= requested
+        assert p.actual <= p.estimated * (1 + 1e-9)
+        assert p.estimated <= p.requested * (1 + 1e-12)
+    # tighter tolerances require more data
+    rates = [p.bitrate for p in points]
+    assert rates == sorted(rates)
+
+
+def test_fig4_pt_estimation_gap_largest(benchmark, ge_small, pmgard_hb_cache, capsys):
+    """PT involves the deepest composition -> the loosest estimate (paper)."""
+    refactored = pmgard_hb_cache(ge_small)
+
+    def measure():
+        gaps = {}
+        for name in ("T", "PT"):
+            points = qoi_error_sweep(
+                refactored, ge_small.fields, GE_QOIS[name], name, [1e-4]
+            )
+            p = points[0]
+            gaps[name] = p.estimated / max(p.actual, 1e-300)
+        return gaps
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nFig.4 estimation gap (estimated/actual): {gaps}")
+    assert gaps["PT"] > gaps["T"]

@@ -1,0 +1,35 @@
+"""Fig. 5: QoI error control for total velocity on NYX and Hurricane.
+
+Demonstrates the generality of the theory beyond the GE case: the same
+VTOT expression tree controls errors on cosmology (NYX) and climate
+(Hurricane) velocity fields.
+"""
+
+import pytest
+
+from repro.analysis.rate_distortion import qoi_error_sweep
+from repro.analysis.reporting import format_curve
+from repro.core.qois import total_velocity
+
+TOLERANCES = [0.1 * 2.0**-i for i in range(0, 20, 2)]
+
+
+@pytest.mark.parametrize("dataset_name", ["nyx", "hurricane"])
+def test_fig5_vtot_error_control(benchmark, dataset_name, request, pmgard_hb_cache, capsys):
+    dataset = request.getfixturevalue(dataset_name)
+    refactored = pmgard_hb_cache(dataset)
+    qoi = total_velocity()
+
+    def sweep():
+        return qoi_error_sweep(refactored, dataset.fields, qoi, "VTOT", TOLERANCES)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_curve(f"Fig.5 {dataset.name} / VTOT (PMGARD-HB)", points))
+
+    for p in points:
+        assert p.actual <= p.estimated * (1 + 1e-9)
+        assert p.estimated <= p.requested * (1 + 1e-12)
+    rates = [p.bitrate for p in points]
+    assert rates == sorted(rates)

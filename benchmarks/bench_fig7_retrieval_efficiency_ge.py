@@ -1,0 +1,64 @@
+"""Fig. 7: retrieval efficiency of the three progressive approaches, GE.
+
+Paper setting: GE-small, the six QoIs, one requested QoI error at a time
+(tau = 0.1 * 2^-i); compare bitrate of PSZ3, PSZ3-delta and PMGARD-HB.
+
+Expected shape: PMGARD-HB generally lowest and steadiest; PSZ3-delta
+comparable but staircase-y; PSZ3 least efficient overall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rate_distortion import qoi_error_sweep
+from repro.analysis.reporting import format_table
+from repro.core.masking import ZeroMask
+from repro.core.qois import GE_QOIS
+
+from conftest import METHODS
+
+TOLERANCES = [0.1 * 2.0**-i for i in range(0, 20, 3)]
+
+
+@pytest.mark.parametrize("qoi_name", sorted(GE_QOIS))
+def test_fig7_method_efficiency(benchmark, ge_small, ge_small_refactored, qoi_name, capsys):
+    qoi = GE_QOIS[qoi_name]
+    vel_names = ("velocity_x", "velocity_y", "velocity_z")
+    masks = None
+    if "velocity_x" in qoi.variables():
+        mask = ZeroMask.from_fields(*(ge_small.fields[k] for k in vel_names))
+        masks = {k: mask for k in vel_names}
+
+    def sweep():
+        return {
+            method: qoi_error_sweep(
+                ge_small_refactored[method], ge_small.fields, qoi, qoi_name,
+                TOLERANCES, masks=masks,
+            )
+            for method in METHODS
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [
+            [tol] + [curves[m][i].bitrate for m in METHODS]
+            for i, tol in enumerate(TOLERANCES)
+        ]
+        print(format_table(
+            ["requested tau"] + list(METHODS), rows,
+            title=f"Fig.7 GE-small / {qoi_name}: bitrate per requested QoI error",
+        ))
+
+    for method in METHODS:
+        for p in curves[method]:
+            assert p.actual <= p.estimated * (1 + 1e-9), method
+            assert p.estimated <= p.requested * (1 + 1e-12), method
+    # paper shape: PMGARD-HB has "the most steady curve" — monotone in the
+    # tolerance, with smaller jumps than PSZ3's wild snapshot staircase
+    hb = [p.bitrate for p in curves["pmgard_hb"]]
+    assert hb == sorted(hb)
+    hb_jump = max(b - a for a, b in zip(hb, hb[1:]))
+    psz3 = [p.bitrate for p in curves["psz3"]]
+    psz3_jump = max(abs(b - a) for a, b in zip(psz3, psz3[1:]))
+    assert hb_jump <= psz3_jump * (1 + 1e-12)

@@ -1,0 +1,57 @@
+"""Table IV: refactoring and retrieval time per progressive approach.
+
+Paper setting: GE-small, VTOT, requested QoI errors 1E-1..1E-5.  Absolute
+times differ from the paper (pure Python vs C++, scaled data), but the
+paper's two observations must hold in shape:
+
+* PMGARD-HB refactors fastest (one decomposition vs 10-18 compression
+  passes for the snapshot ladders);
+* retrieval times of the three methods are the same order of magnitude.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.rate_distortion import qoi_rd_point
+from repro.analysis.reporting import format_table
+from repro.core.qois import total_velocity
+from repro.core.retrieval import refactor_dataset
+
+from conftest import METHODS, SNAPSHOT_BOUNDS_10, make_method
+
+QOI_TOLERANCES = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+
+
+def test_table4_refactor_and_retrieval_time(benchmark, ge_small, capsys):
+    vel = {k: v for k, v in ge_small.fields.items() if k.startswith("velocity")}
+    qoi = total_velocity()
+
+    def measure():
+        rows = []
+        refactor_times = {}
+        for method in METHODS:
+            start = time.perf_counter()
+            refactored = refactor_dataset(vel, make_method(method, SNAPSHOT_BOUNDS_10))
+            refactor_times[method] = time.perf_counter() - start
+            retrievals = []
+            for tol in QOI_TOLERANCES:
+                point = qoi_rd_point(refactored, vel, qoi, "VTOT", tol)
+                retrievals.append(point.seconds)
+            rows.append([method, f"{refactor_times[method]:.3f}"] +
+                        [f"{t:.3f}" for t in retrievals])
+        return rows, refactor_times
+
+    rows, refactor_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Compressor", "Refactoring (s)"] + [f"{t:.0e}" for t in QOI_TOLERANCES],
+            rows,
+            title="Table IV: refactor + retrieval time (s), GE-small VTOT",
+        ))
+
+    # the paper's headline: single-decomposition PMGARD-HB refactors faster
+    # than both snapshot ladders
+    assert refactor_times["pmgard_hb"] < refactor_times["psz3"]
+    assert refactor_times["pmgard_hb"] < refactor_times["psz3_delta"]

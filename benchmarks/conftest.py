@@ -1,0 +1,89 @@
+"""Shared fixtures for the per-figure/per-table benchmark harness.
+
+Every paper experiment is regenerated at laptop scale: datasets are the
+synthetic Table III equivalents (DESIGN.md §1.3), sizes are reduced, and
+refactored representations are cached per session so each figure's sweep
+measures retrieval — not repeated archiving.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import make_refactorer
+from repro.core.retrieval import refactor_dataset
+from repro.data.datasets import load_dataset
+
+#: PSZ3 / PSZ3-delta snapshot ladders, as in §V-B (10 bounds) and §VI-C
+#: (18 bounds for the high-precision S3D QoIs).
+SNAPSHOT_BOUNDS_10 = tuple(10.0 ** (-i) for i in range(1, 11))
+SNAPSHOT_BOUNDS_18 = tuple(10.0 ** (-i) for i in range(1, 19))
+
+METHODS = ("psz3", "psz3_delta", "pmgard_hb")
+
+
+def make_method(name: str, bounds=SNAPSHOT_BOUNDS_10):
+    """Instantiate one of the paper's three progressive approaches."""
+    if name in ("psz3", "psz3_delta"):
+        return make_refactorer(name, relative_bounds=bounds)
+    return make_refactorer(name)
+
+
+@pytest.fixture(scope="session")
+def ge_small():
+    return load_dataset("GE-small", scale=0.25, seed=0)  # 5000 nodes x 5 vars
+
+
+@pytest.fixture(scope="session")
+def ge_small_refactored(ge_small):
+    return {
+        method: refactor_dataset(ge_small.fields, make_method(method))
+        for method in METHODS
+    }
+
+
+@pytest.fixture(scope="session")
+def s3d():
+    return load_dataset("S3D", scale=0.5, seed=0)  # (24, 20, 16) x 8 species
+
+
+@pytest.fixture(scope="session")
+def s3d_refactored(s3d):
+    return {
+        method: refactor_dataset(s3d.fields, make_method(method, SNAPSHOT_BOUNDS_18))
+        for method in METHODS
+    }
+
+
+@pytest.fixture(scope="session")
+def nyx():
+    return load_dataset("NYX", scale=0.5, seed=0)  # 32^3 x 3
+
+
+@pytest.fixture(scope="session")
+def hurricane():
+    return load_dataset("Hurricane", scale=0.35, seed=0)
+
+
+@pytest.fixture(scope="session")
+def pmgard_hb_cache():
+    """Lazy per-dataset PMGARD-HB refactorings shared across figures."""
+    cache: dict = {}
+
+    def get(dataset):
+        key = id(dataset)
+        if key not in cache:
+            cache[key] = refactor_dataset(dataset.fields, make_method("pmgard_hb"))
+        return cache[key]
+
+    return get
+
+
+def qoi_range_of(dataset, qoi) -> float:
+    env = {k: (v, 0.0) for k, v in dataset.fields.items()}
+    vals = qoi.value(env)
+    r = float(np.max(vals) - np.min(vals))
+    return r if r > 0 else 1.0

@@ -1,0 +1,38 @@
+"""Distortion and rate metrics (§III-C).
+
+Bitrate is retrieved bytes times eight over the number of elements — the
+X axis of every rate-distortion figure.  Distortion is the relative
+L-infinity error: max absolute error divided by the value range of the
+reference quantity (primary field or QoI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def value_range(reference: np.ndarray) -> float:
+    """Range (max - min) of the reference data; 1.0 for constant fields."""
+    r = float(np.max(reference) - np.min(reference))
+    return r if r > 0 else 1.0
+
+
+def max_abs_error(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """L-infinity error between reference and approximation."""
+    reference = np.asarray(reference)
+    approximation = np.asarray(approximation)
+    if reference.shape != approximation.shape:
+        raise ValueError("shape mismatch between reference and approximation")
+    return float(np.max(np.abs(reference - approximation)))
+
+
+def relative_linf_error(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """Max absolute error over the reference's value range."""
+    return max_abs_error(reference, approximation) / value_range(reference)
+
+
+def bitrate(bytes_retrieved: int, num_elements: int) -> float:
+    """Average bits per element of the retrieved representation."""
+    if num_elements <= 0:
+        raise ValueError("num_elements must be > 0")
+    return 8.0 * float(bytes_retrieved) / float(num_elements)

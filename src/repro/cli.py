@@ -1,0 +1,196 @@
+"""Command-line interface: archive, inspect, and retrieve datasets.
+
+Wires the whole pipeline into three subcommands::
+
+    python -m repro.cli archive  --out ar/ --method pmgard_hb p=pressure.npy d=density.npy
+    python -m repro.cli info     --archive ar/
+    python -m repro.cli retrieve --archive ar/ --qoi product --fields p,d \\
+        --tolerance 1e-4 --out rec/
+
+``archive`` refactors each ``name=path.npy`` variable into a
+fragment-addressable on-disk archive (one file per fragment) and records
+the dataset manifest (shapes, value ranges) that Algorithm 2 needs.
+``retrieve`` runs the QoI-preserved retrieval loop against the archive
+and writes the reconstructed variables plus a JSON report of the
+guaranteed errors.
+
+QoI specs: ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
+(pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.compressors.base import make_refactorer
+from repro.core.expressions import Var
+from repro.core.qois import mach_number, molar_product, temperature, total_velocity
+from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+from repro.storage.archive import Archive
+from repro.storage.metadata import DatasetManifest, VariableMetadata
+from repro.storage.store import DiskFragmentStore
+
+_MANIFEST_VAR = "_dataset"
+_MANIFEST_SEG = "manifest.json"
+
+
+def build_qoi(spec: str, fields: list):
+    """Construct a QoI tree from a CLI spec and its field names."""
+    spec = spec.lower()
+    if spec == "identity":
+        if len(fields) != 1:
+            raise ValueError("identity expects exactly 1 field")
+        return Var(fields[0])
+    if spec == "vtot":
+        if len(fields) != 3:
+            raise ValueError("vtot expects exactly 3 fields (vx,vy,vz)")
+        return total_velocity(*fields)
+    if spec == "temperature":
+        if len(fields) != 2:
+            raise ValueError("temperature expects 2 fields (pressure,density)")
+        return temperature(*fields)
+    if spec == "mach":
+        if len(fields) != 5:
+            raise ValueError("mach expects 5 fields (vx,vy,vz,pressure,density)")
+        return mach_number(*fields)
+    if spec == "product":
+        if len(fields) < 2:
+            raise ValueError("product expects at least 2 fields")
+        return molar_product(*fields)
+    raise ValueError(
+        f"unknown QoI spec {spec!r}; options: identity, vtot, temperature, mach, product"
+    )
+
+
+def _cmd_archive(args) -> int:
+    variables = {}
+    for pair in args.variables:
+        if "=" not in pair:
+            raise SystemExit(f"expected name=path.npy, got {pair!r}")
+        name, path = pair.split("=", 1)
+        variables[name] = np.load(path)
+    refactorer = make_refactorer(args.method)
+    refactored = refactor_dataset(variables, refactorer)
+    store = DiskFragmentStore(args.out)
+    archive = Archive(store)
+    manifest = DatasetManifest(dataset=os.path.basename(args.out.rstrip("/")) or "dataset")
+    for name, data in variables.items():
+        archive.save(name, refactored[name])
+        manifest.add(
+            VariableMetadata.from_array(
+                name, data, args.method, refactored[name].total_bytes,
+                segments=store.segments(name),
+            )
+        )
+    store.put(_MANIFEST_VAR, _MANIFEST_SEG, manifest.to_json().encode())
+    total = sum(m.total_bytes for m in manifest.variables.values())
+    raw = sum(v.nbytes for v in variables.values())
+    print(f"archived {len(variables)} variable(s) with {args.method}: "
+          f"{total / 1e6:.2f} MB ({raw / 1e6:.2f} MB raw) -> {args.out}")
+    return 0
+
+
+def _load_manifest(archive_dir: str) -> tuple:
+    store = DiskFragmentStore(archive_dir)
+    # re-index existing files on disk
+    for fname in sorted(os.listdir(archive_dir)):
+        if not fname.endswith(".bin"):
+            continue
+        var, seg = fname[:-4].split("__", 1)
+        store._data[(var, seg)] = None
+    manifest = DatasetManifest.from_json(
+        store.get(_MANIFEST_VAR, _MANIFEST_SEG).decode()
+    )
+    return store, manifest
+
+
+def _cmd_info(args) -> int:
+    _, manifest = _load_manifest(args.archive)
+    print(f"dataset: {manifest.dataset}")
+    for name, meta in sorted(manifest.variables.items()):
+        print(f"  {name}: shape={meta.shape} dtype={meta.dtype} "
+              f"compressor={meta.compressor} archived={meta.total_bytes}B "
+              f"range=[{meta.value_min:.6g}, {meta.value_max:.6g}]")
+    return 0
+
+
+def _cmd_retrieve(args) -> int:
+    store, manifest = _load_manifest(args.archive)
+    fields = [f.strip() for f in args.fields.split(",") if f.strip()]
+    qoi = build_qoi(args.qoi, fields)
+    missing = [f for f in fields if f not in manifest.variables]
+    if missing:
+        raise SystemExit(f"fields not in archive: {missing}")
+    archive = Archive(store)
+    refactored = {name: archive.load(name) for name in fields}
+    retriever = QoIRetriever(refactored, manifest.value_ranges())
+    request = QoIRequest(args.qoi, qoi, args.tolerance, args.qoi_range)
+    result = retriever.retrieve([request])
+
+    os.makedirs(args.out, exist_ok=True)
+    for name, data in result.data.items():
+        np.save(os.path.join(args.out, f"{name}.npy"), data)
+    report = {
+        "qoi": args.qoi,
+        "fields": fields,
+        "tolerance": args.tolerance,
+        "qoi_range": args.qoi_range,
+        "satisfied": result.all_satisfied,
+        "estimated_error": result.estimated_errors[args.qoi],
+        "rounds": result.rounds,
+        "bytes_retrieved": result.total_bytes,
+    }
+    with open(os.path.join(args.out, "report.json"), "w") as fh:
+        json.dump(report, fh, indent=2)
+    status = "satisfied" if result.all_satisfied else "NOT satisfied (representation exhausted)"
+    print(f"retrieved {result.total_bytes} B in {result.rounds} round(s); "
+          f"guaranteed QoI error {result.estimated_errors[args.qoi]:.3e} "
+          f"({status}) -> {args.out}")
+    return 0 if result.all_satisfied else 2
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QoI-preserving progressive retrieval"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_archive = sub.add_parser("archive", help="refactor variables into an archive")
+    p_archive.add_argument("--out", required=True, help="archive directory")
+    p_archive.add_argument(
+        "--method", default="pmgard_hb",
+        choices=["psz3", "psz3_delta", "pmgard", "pmgard_hb", "pzfp"],
+    )
+    p_archive.add_argument("variables", nargs="+", metavar="name=path.npy")
+    p_archive.set_defaults(func=_cmd_archive)
+
+    p_info = sub.add_parser("info", help="list archived variables")
+    p_info.add_argument("--archive", required=True)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_ret = sub.add_parser("retrieve", help="QoI-preserved retrieval")
+    p_ret.add_argument("--archive", required=True)
+    p_ret.add_argument("--qoi", required=True,
+                       help="identity | vtot | temperature | mach | product")
+    p_ret.add_argument("--fields", required=True, help="comma-separated field names")
+    p_ret.add_argument("--tolerance", type=float, required=True,
+                       help="relative QoI tolerance (see --qoi-range)")
+    p_ret.add_argument("--qoi-range", type=float, default=1.0,
+                       help="QoI value range; 1.0 means --tolerance is absolute")
+    p_ret.add_argument("--out", required=True, help="output directory")
+    p_ret.set_defaults(func=_cmd_retrieve)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Error-controlled progressive compressors (Definition 1 of the paper).
+
+Three progressive families are provided, mirroring §V-B of the paper:
+
+* :class:`repro.compressors.psz3.PSZ3Refactorer` — multiple independent
+  error-bounded snapshots (redundant; the paper's PSZ3);
+* :class:`repro.compressors.psz3_delta.PSZ3DeltaRefactorer` — residual
+  chain with decreasing bounds (the paper's PSZ3-delta, after [16]);
+* :class:`repro.compressors.pmgard.PMGARDRefactorer` — multilevel
+  decomposition + per-level bitplane encoding, with ``basis="orthogonal"``
+  (PMGARD) or ``basis="hierarchical"`` (the paper's PMGARD-HB).
+
+All of them expose the same two-phase interface:
+
+``refactor(data) -> Refactored`` (archival form, sized segments), and
+``Refactored.reader() -> ProgressiveReader`` whose ``request(eb)``
+incrementally fetches segments until the guaranteed L-infinity bound on
+the reconstruction is at most ``eb``.
+"""
+
+from repro.compressors.base import ProgressiveReader, Refactored, make_refactorer
+from repro.compressors.sz3 import SZ3Compressor
+from repro.compressors.psz3 import PSZ3Refactorer
+from repro.compressors.psz3_delta import PSZ3DeltaRefactorer
+from repro.compressors.pmgard import PMGARDRefactorer, PMGARDResolutionReader
+from repro.compressors.pzfp import PZFPRefactorer
+
+__all__ = [
+    "ProgressiveReader",
+    "Refactored",
+    "make_refactorer",
+    "SZ3Compressor",
+    "PSZ3Refactorer",
+    "PSZ3DeltaRefactorer",
+    "PMGARDRefactorer",
+    "PMGARDResolutionReader",
+    "PZFPRefactorer",
+]

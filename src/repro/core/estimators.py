@@ -1,0 +1,118 @@
+"""Vectorized QoI error-bound estimators (Theorems 1–6 of the paper).
+
+Every function takes *reconstructed* values ``x`` and the L-infinity
+bounds ``eps`` used during retrieval, and returns a per-point upper bound
+``Delta`` on the QoI error:
+
+    sup_{|x' - x| <= eps} |f(x') - f(x)|  <=  Delta(f, x, eps).
+
+Crucially, nothing here touches the original data — the bounds are
+computable mid-retrieval, which is what lets the retrieval loop decide
+whether it has fetched enough (§IV of the paper).
+
+Domain failures (radical/division whose denominator interval straddles
+zero — the ``eps >= |x + c|`` case Theorem 3 excludes) return ``inf``;
+the error-bound assigner reacts by tightening the primary-data bounds.
+All functions broadcast and never loop over elements.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+
+def bound_power(x: np.ndarray, eps, n: int) -> np.ndarray:
+    """Theorem 1: bound for ``f(x) = x**n`` (integer ``n >= 1``).
+
+    ``Delta <= sum_{i=1..n} C(n,i) |x|^(n-i) eps^i``.
+    """
+    if int(n) != n or n < 1:
+        raise ValueError(f"power must be a positive integer, got {n!r}")
+    n = int(n)
+    x = np.asarray(x, dtype=np.float64)
+    eps = np.asarray(eps, dtype=np.float64)
+    ax = np.abs(x)
+    total = np.zeros(np.broadcast(x, eps).shape, dtype=np.float64)
+    for i in range(1, n + 1):
+        total += comb(n, i) * ax ** (n - i) * eps**i
+    return total
+
+
+def bound_sqrt(x: np.ndarray, eps) -> np.ndarray:
+    """Theorem 2: bound for ``f(x) = sqrt(x)``.
+
+    ``Delta <= eps / (sqrt(max(x - eps, 0)) + sqrt(x))`` for ``x > 0``.
+    At ``x == 0`` the formula degenerates (the near-zero looseness the
+    paper handles with the zero bitmap); there the exact supremum
+    ``sqrt(eps)`` is used, and non-positive reconstructions fall back to
+    ``sqrt(max(x,0) + eps)`` (the worst case over the clipped domain).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    eps = np.asarray(eps, dtype=np.float64)
+    x_b, eps_b = np.broadcast_arrays(x, eps)
+    pos = x_b > 0.0
+    out = np.sqrt(np.clip(x_b, 0.0, None) + eps_b)  # x <= 0 fallback (incl. sqrt(eps) at 0)
+    denom = np.sqrt(np.clip(x_b - eps_b, 0.0, None)) + np.sqrt(np.clip(x_b, 0.0, None))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        formula = np.where(denom > 0.0, eps_b / denom, np.inf)
+    out = np.where(pos, formula, out)
+    return out
+
+
+def bound_radical(x: np.ndarray, eps, c: float = 0.0) -> np.ndarray:
+    """Theorem 3: bound for ``f(x) = 1 / (x + c)``.
+
+    Valid only when ``eps < |x + c|``; otherwise the reconstructed
+    denominator interval contains 0 and the bound is ``inf`` (the case the
+    theorem excludes and retrieval avoids by tightening ``eps``).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    eps = np.asarray(eps, dtype=np.float64)
+    s = x + float(c)
+    abs_s = np.abs(s)
+    lo = np.minimum(np.abs(s - eps), np.abs(s + eps))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = eps / (lo * abs_s)
+    return np.where((eps < abs_s) & (abs_s > 0.0), out, np.inf)
+
+
+def bound_add(eps_list, weights=None) -> np.ndarray:
+    """Theorem 4: bound for ``g(x) = sum a_i x_i`` is ``sum |a_i| eps_i``."""
+    if weights is None:
+        weights = [1.0] * len(eps_list)
+    if len(weights) != len(eps_list):
+        raise ValueError("weights/eps length mismatch")
+    total = None
+    for a, e in zip(weights, eps_list):
+        term = abs(float(a)) * np.asarray(e, dtype=np.float64)
+        total = term if total is None else total + term
+    return total
+
+
+def bound_mul(x1, eps1, x2, eps2) -> np.ndarray:
+    """Theorem 5: bound for ``g = x1 * x2`` is ``|x1| e2 + |x2| e1 + e1 e2``."""
+    x1 = np.asarray(x1, dtype=np.float64)
+    x2 = np.asarray(x2, dtype=np.float64)
+    eps1 = np.asarray(eps1, dtype=np.float64)
+    eps2 = np.asarray(eps2, dtype=np.float64)
+    return np.abs(x1) * eps2 + np.abs(x2) * eps1 + eps1 * eps2
+
+
+def bound_div(x1, eps1, x2, eps2) -> np.ndarray:
+    """Theorem 6: bound for ``g = x1 / x2``.
+
+    ``(|x1| e2 + |x2| e1) / (|x2| min(|x2 - e2|, |x2 + e2|))`` when
+    ``e2 < |x2|``; ``inf`` otherwise.
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    x2 = np.asarray(x2, dtype=np.float64)
+    eps1 = np.asarray(eps1, dtype=np.float64)
+    eps2 = np.asarray(eps2, dtype=np.float64)
+    ax2 = np.abs(x2)
+    lo = np.minimum(np.abs(x2 - eps2), np.abs(x2 + eps2))
+    num = np.abs(x1) * eps2 + ax2 * eps1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = num / (ax2 * lo)
+    return np.where((eps2 < ax2) & (ax2 > 0.0), out, np.inf)

@@ -1,0 +1,306 @@
+"""The derivable-QoI expression system (Definitions 2–3, Theorems 7–9).
+
+A QoI is built as a tree of basis nodes (Table II of the paper):
+variables, constants, weighted sums, products, quotients, integer and
+half-integer powers, square roots, and radicals ``1/(x + c)``.  Evaluating
+the tree against an *environment* — reconstructed arrays plus the
+L-infinity bounds they were retrieved under — propagates a
+``(value, bound)`` pair bottom-up:
+
+* leaf ``Var``: ``(x, eps)`` straight from the environment;
+* interior nodes apply the corresponding Theorem-1–6 estimator to their
+  children's pairs.
+
+Feeding a child's *(value, bound)* into its parent's estimator is exactly
+the composition calculus of Theorem 9 and Lemmas 1–2, so any tree built
+from these nodes carries a guaranteed QoI error bound with no extra
+machinery.  Additivity/multiplicativity (Theorems 7–8) correspond to
+``Add`` nodes with weights.
+
+Operator overloading makes construction read like the physics::
+
+    vtot = Sqrt(Var("vx")**2 + Var("vy")**2 + Var("vz")**2)
+    value, bound = vtot.evaluate({"vx": (vx, eps), ...})
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.estimators import (
+    bound_add,
+    bound_div,
+    bound_mul,
+    bound_power,
+    bound_radical,
+    bound_sqrt,
+)
+
+Env = dict  # name -> (values, eps) ; eps scalar or array
+
+
+def _coerce(obj) -> "QoI":
+    if isinstance(obj, QoI):
+        return obj
+    if isinstance(obj, (int, float)):
+        return Const(float(obj))
+    raise TypeError(f"cannot use {type(obj).__name__} in a QoI expression")
+
+
+class QoI(abc.ABC):
+    """Base class of derivable-QoI expression nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, env: Env) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(value, bound)`` arrays for the environment *env*.
+
+        ``env`` maps variable names to ``(values, eps)`` where *values*
+        are the reconstructed arrays and *eps* the guaranteed L-infinity
+        bounds they satisfy (scalar or per-point).
+        """
+
+    @abc.abstractmethod
+    def variables(self) -> frozenset:
+        """Names of all variables the QoI depends on."""
+
+    def value(self, env: Env) -> np.ndarray:
+        """Evaluate the QoI value only (bounds ignored)."""
+        exact_env = {k: (v[0] if isinstance(v, tuple) else v, 0.0) for k, v in env.items()}
+        return self.evaluate(exact_env)[0]
+
+    # -- operator sugar -----------------------------------------------------
+
+    def __add__(self, other):
+        return Add([self, _coerce(other)])
+
+    def __radd__(self, other):
+        return Add([_coerce(other), self])
+
+    def __sub__(self, other):
+        return Add([self, _coerce(other)], weights=[1.0, -1.0])
+
+    def __rsub__(self, other):
+        return Add([_coerce(other), self], weights=[1.0, -1.0])
+
+    def __mul__(self, other):
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other):
+        return Mul(_coerce(other), self)
+
+    def __truediv__(self, other):
+        return Div(self, _coerce(other))
+
+    def __rtruediv__(self, other):
+        return Div(_coerce(other), self)
+
+    def __pow__(self, exponent):
+        return Pow(self, exponent)
+
+
+class Var(QoI):
+    """A primary data field, referenced by name."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = str(name)
+
+    def evaluate(self, env: Env):
+        try:
+            values, eps = env[self.name]
+        except KeyError:
+            raise KeyError(f"variable {self.name!r} missing from environment")
+        values = np.asarray(values, dtype=np.float64)
+        eps_arr = np.broadcast_to(np.asarray(eps, dtype=np.float64), values.shape)
+        return values, eps_arr
+
+    def variables(self):
+        return frozenset({self.name})
+
+    def __repr__(self):
+        return f"Var({self.name!r})"
+
+
+class Const(QoI):
+    """A constant: exact, zero error."""
+
+    def __init__(self, value: float):
+        self.constant = float(value)
+
+    def evaluate(self, env: Env):
+        return np.float64(self.constant), np.float64(0.0)
+
+    def variables(self):
+        return frozenset()
+
+    def __repr__(self):
+        return f"Const({self.constant})"
+
+
+class Add(QoI):
+    """Weighted sum (Theorems 4, 7, 8): ``sum_i a_i child_i``."""
+
+    def __init__(self, children, weights=None):
+        self.children = [_coerce(c) for c in children]
+        if not self.children:
+            raise ValueError("Add needs at least one child")
+        self.weights = [1.0] * len(self.children) if weights is None else [float(w) for w in weights]
+        if len(self.weights) != len(self.children):
+            raise ValueError("weights/children length mismatch")
+
+    def evaluate(self, env: Env):
+        values, bounds = zip(*(c.evaluate(env) for c in self.children))
+        total = sum(a * v for a, v in zip(self.weights, values))
+        return np.asarray(total, dtype=np.float64), bound_add(bounds, self.weights)
+
+    def variables(self):
+        return frozenset().union(*(c.variables() for c in self.children))
+
+    def __repr__(self):
+        return f"Add({self.children!r}, weights={self.weights})"
+
+
+class Mul(QoI):
+    """Binary product (Theorem 5); chain for n-ary products (Theorem 9)."""
+
+    def __init__(self, left, right):
+        self.left = _coerce(left)
+        self.right = _coerce(right)
+
+    def evaluate(self, env: Env):
+        v1, e1 = self.left.evaluate(env)
+        v2, e2 = self.right.evaluate(env)
+        return np.asarray(v1 * v2, dtype=np.float64), bound_mul(v1, e1, v2, e2)
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self):
+        return f"Mul({self.left!r}, {self.right!r})"
+
+
+class Div(QoI):
+    """Quotient (Theorem 6)."""
+
+    def __init__(self, numerator, denominator):
+        self.numerator = _coerce(numerator)
+        self.denominator = _coerce(denominator)
+
+    def evaluate(self, env: Env):
+        v1, e1 = self.numerator.evaluate(env)
+        v2, e2 = self.denominator.evaluate(env)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = np.asarray(v1 / v2, dtype=np.float64)
+        return value, bound_div(v1, e1, v2, e2)
+
+    def variables(self):
+        return self.numerator.variables() | self.denominator.variables()
+
+    def __repr__(self):
+        return f"Div({self.numerator!r}, {self.denominator!r})"
+
+
+class Sqrt(QoI):
+    """Square root (Theorem 2, composed per Theorem 9 / Lemma 1)."""
+
+    def __init__(self, child):
+        self.child = _coerce(child)
+
+    def evaluate(self, env: Env):
+        v, e = self.child.evaluate(env)
+        value = np.sqrt(np.clip(v, 0.0, None))
+        return np.asarray(value, dtype=np.float64), bound_sqrt(v, e)
+
+    def variables(self):
+        return self.child.variables()
+
+    def __repr__(self):
+        return f"Sqrt({self.child!r})"
+
+
+class Radical(QoI):
+    """Shifted reciprocal ``1 / (child + c)`` (Theorem 3)."""
+
+    def __init__(self, child, c: float = 0.0):
+        self.child = _coerce(child)
+        self.c = float(c)
+
+    def evaluate(self, env: Env):
+        v, e = self.child.evaluate(env)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = np.asarray(1.0 / (v + self.c), dtype=np.float64)
+        return value, bound_radical(v, e, self.c)
+
+    def variables(self):
+        return self.child.variables()
+
+    def __repr__(self):
+        return f"Radical({self.child!r}, c={self.c})"
+
+
+class Pow(QoI):
+    """Power with integer or half-integer exponent.
+
+    Integer exponents use Theorem 1 directly.  Half-integer exponents
+    ``n + 0.5`` decompose as ``x**n * sqrt(x)`` — the square-root/polynomial
+    composition the paper uses for GE's total pressure (mi = 3.5) and
+    viscosity (1.5) QoIs.
+    """
+
+    def __init__(self, child, exponent):
+        self.child = _coerce(child)
+        ex = float(exponent)
+        if ex < 0.5 or (ex * 2) != int(ex * 2):
+            raise ValueError("Pow supports positive integer or half-integer exponents")
+        self.exponent = ex
+        if ex == int(ex):
+            self._node = None  # direct Theorem-1 path
+        elif ex == 0.5:
+            self._node = Sqrt(self.child)
+        else:
+            self._node = Mul(Pow(self.child, int(ex)), Sqrt(self.child))
+
+    def evaluate(self, env: Env):
+        if self._node is not None:
+            return self._node.evaluate(env)
+        n = int(self.exponent)
+        v, e = self.child.evaluate(env)
+        return np.asarray(v**n, dtype=np.float64), bound_power(v, e, n)
+
+    def variables(self):
+        return self.child.variables()
+
+    def __repr__(self):
+        return f"Pow({self.child!r}, {self.exponent})"
+
+
+def product(*factors) -> QoI:
+    """N-ary product built as a left-deep Mul chain (Theorems 5 + 9)."""
+    if not factors:
+        raise ValueError("product needs at least one factor")
+    node = _coerce(factors[0])
+    for f in factors[1:]:
+        node = Mul(node, _coerce(f))
+    return node
+
+
+def polynomial(child, coefficients) -> QoI:
+    """General polynomial ``sum_i a_i x**i`` (Theorems 1 + 7 + 8).
+
+    *coefficients* are ordered constant-first: ``a_0 + a_1 x + a_2 x^2...``.
+    """
+    child = _coerce(child)
+    terms = []
+    weights = []
+    for i, a in enumerate(coefficients):
+        a = float(a)
+        if a == 0.0:
+            continue
+        terms.append(Const(1.0) if i == 0 else Pow(child, i))
+        weights.append(a)
+    if not terms:
+        return Const(0.0)
+    return Add(terms, weights=weights)

@@ -1,0 +1,71 @@
+"""Mask-based outlier management (§V-A of the paper).
+
+Nodes where, e.g., all velocity components are exactly zero (wall nodes in
+the GE CFD data) make the square-root estimator of Theorem 2 arbitrarily
+loose: tiny reconstructed values yield huge ``eps/sqrt(x)`` bounds even
+though the true error is zero.  The paper records such points in a bitmap,
+reconstructs them exactly, and excludes them from refactoring.
+
+:class:`ZeroMask` implements the retrieval-side behaviour: masked points
+are pinned to their exact (zero) value and their per-point error bound is
+set to zero, so the QoI estimator sees ``eps = 0`` there and the bound
+collapses to the truth.  The packed bitmap's byte cost is exposed so the
+bitrate accounting can include it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class ZeroMask:
+    """Bitmap of exact-zero points shared by a group of fields."""
+
+    def __init__(self, mask: np.ndarray):
+        mask = np.asarray(mask, dtype=bool)
+        self.mask = mask
+        self._payload = zlib.compress(np.packbits(mask).tobytes(), 6)
+
+    @classmethod
+    def from_fields(cls, *fields: np.ndarray) -> "ZeroMask":
+        """Mask points where *every* given field is exactly zero."""
+        if not fields:
+            raise ValueError("need at least one field")
+        mask = np.ones(np.asarray(fields[0]).shape, dtype=bool)
+        for f in fields:
+            mask &= np.asarray(f) == 0.0
+        return cls(mask)
+
+    @property
+    def nbytes(self) -> int:
+        """Transfer cost of the packed bitmap."""
+        return len(self._payload)
+
+    @property
+    def count(self) -> int:
+        """Number of masked points."""
+        return int(self.mask.sum())
+
+    def pin(self, reconstruction: np.ndarray) -> np.ndarray:
+        """Force masked points to exact zero (in place; returns the array)."""
+        reconstruction[self.mask] = 0.0
+        return reconstruction
+
+    def pointwise_eps(self, eps: float, shape: tuple) -> np.ndarray:
+        """Per-point bound array: *eps* everywhere, 0 at masked points."""
+        out = np.full(shape, float(eps))
+        out[self.mask] = 0.0
+        return out
+
+    @classmethod
+    def from_payload(cls, payload: bytes, shape: tuple) -> "ZeroMask":
+        """Rebuild a mask from its packed representation."""
+        bits = np.unpackbits(np.frombuffer(zlib.decompress(payload), dtype=np.uint8))
+        n = int(np.prod(shape))
+        return cls(bits[:n].astype(bool).reshape(shape))
+
+    @property
+    def payload(self) -> bytes:
+        return self._payload

@@ -1,0 +1,118 @@
+"""Ready-made QoIs: GE CFD Eq.(1)–(6), total velocity, S3D products.
+
+These are the quantities evaluated throughout the paper (§III-A, Table
+III).  Each builder returns a :class:`repro.core.expressions.QoI` tree
+whose evaluation yields both the QoI value and a guaranteed error bound;
+§IV-D of the paper walks through exactly the ``total_velocity``
+decomposition implemented here.
+
+Physical constants follow the paper: R = 287.1, gamma = 1.4, mi = 3.5,
+mu_r = 1.716e-5, T_r = 273.15, S = 110.4.
+"""
+
+from __future__ import annotations
+
+from repro.core.expressions import Add, Div, Mul, Pow, QoI, Radical, Sqrt, Var, product
+
+R_GAS = 287.1
+GAMMA = 1.4
+MACH_EXPONENT = 3.5
+MU_REF = 1.716e-5
+T_REF = 273.15
+SUTHERLAND_S = 110.4
+
+
+def total_velocity(vx: str = "velocity_x", vy: str = "velocity_y", vz: str = "velocity_z") -> QoI:
+    """Eq. (1): ``Vtotal = sqrt(Vx^2 + Vy^2 + Vz^2)``.
+
+    The composition ``f1(g1(f2(...)))`` of §IV-D: squares (Theorem 1),
+    a sum (Theorem 4) and a square root (Theorem 2).
+    """
+    return Sqrt(Add([Pow(Var(vx), 2), Pow(Var(vy), 2), Pow(Var(vz), 2)]))
+
+
+def temperature(pressure: str = "pressure", density: str = "density", r_gas: float = R_GAS) -> QoI:
+    """Eq. (2): ``T = P / (D * R)``."""
+    return Div(Var(pressure), Mul(Var(density), r_gas))
+
+
+def speed_of_sound(
+    pressure: str = "pressure",
+    density: str = "density",
+    gamma: float = GAMMA,
+    r_gas: float = R_GAS,
+) -> QoI:
+    """Eq. (3): ``C = sqrt(gamma * R * T)``."""
+    return Sqrt(Mul(temperature(pressure, density, r_gas), gamma * r_gas))
+
+
+def mach_number(
+    vx: str = "velocity_x",
+    vy: str = "velocity_y",
+    vz: str = "velocity_z",
+    pressure: str = "pressure",
+    density: str = "density",
+) -> QoI:
+    """Eq. (4): ``Mach = Vtotal / C``."""
+    return Div(total_velocity(vx, vy, vz), speed_of_sound(pressure, density))
+
+
+def total_pressure(
+    vx: str = "velocity_x",
+    vy: str = "velocity_y",
+    vz: str = "velocity_z",
+    pressure: str = "pressure",
+    density: str = "density",
+    gamma: float = GAMMA,
+    mi: float = MACH_EXPONENT,
+) -> QoI:
+    """Eq. (5): ``PT = P * (1 + gamma/2 * Mach^2)^mi``.
+
+    Decomposed as the paper prescribes: the inner polynomial of Mach and
+    the half-integer power via ``u^3 * sqrt(u)`` (for mi = 3.5).
+    """
+    mach = mach_number(vx, vy, vz, pressure, density)
+    u = Add([1.0, Mul(Mul(mach, mach), gamma / 2.0)])
+    return Mul(Var(pressure), Pow(u, mi))
+
+
+def viscosity(
+    pressure: str = "pressure",
+    density: str = "density",
+    mu_ref: float = MU_REF,
+    t_ref: float = T_REF,
+    s: float = SUTHERLAND_S,
+) -> QoI:
+    """Eq. (6): Sutherland's law ``mu = mu_r (T/Tr)^1.5 (Tr + S)/(T + S)``.
+
+    Built from a half-integer power, a radical ``1/(T + S)`` (Theorem 3)
+    and constant scalings (Theorem 8).
+    """
+    t = temperature(pressure, density)
+    t_scaled = Mul(t, 1.0 / t_ref)
+    return Mul(
+        Mul(Pow(t_scaled, 1.5), Radical(t, c=s)),
+        mu_ref * (t_ref + s),
+    )
+
+
+def molar_product(*species: str) -> QoI:
+    """S3D molar-concentration multiplication, e.g. ``x1 * x3``.
+
+    The reaction-rate intermediates of Table III (products of two or more
+    species concentrations; Theorem 5 chained via Theorem 9).
+    """
+    if len(species) < 2:
+        raise ValueError("molar_product needs at least two species fields")
+    return product(*(Var(name) for name in species))
+
+
+#: The six GE QoIs keyed as the paper labels them (Figs. 4, 7).
+GE_QOIS: dict = {
+    "VTOT": total_velocity(),
+    "T": temperature(),
+    "C": speed_of_sound(),
+    "Mach": mach_number(),
+    "PT": total_pressure(),
+    "mu": viscosity(),
+}

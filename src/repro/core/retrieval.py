@@ -1,0 +1,305 @@
+"""QoI-preserved progressive retrieval (Algorithms 1 and 2).
+
+The retriever owns a set of progressive readers (one per variable) and
+iterates:
+
+1. request every variable at its current error bound,
+2. evaluate every requested QoI over the whole domain — vectorized, this
+   is lines 13–24 of Algorithm 2 — keeping the worst estimated error and
+   its location,
+3. if any QoI misses its tolerance, tighten the involved variables'
+   bounds with Algorithm 4 at the worst point and go again.
+
+The loop terminates when every QoI tolerance is met, when the progressive
+representations bottom out (nothing left to fetch), or after
+``max_rounds``.  Because readers are incremental, later rounds only move
+the *additional* fragments — the property that makes the whole framework
+cheaper than conservative one-shot compression.
+
+Per the paper's quality-assessment methodology (§III-C), tolerances are
+*relative*: a request with ``tolerance=1e-4`` and ``qoi_range=r`` demands
+an absolute L-infinity QoI error below ``1e-4 * r``.  Pass
+``qoi_range=1.0`` to work in absolute units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressors.base import Refactored, Refactorer
+from repro.core.assigner import DEFAULT_REDUCTION_FACTOR, assign_eb, reassign_eb
+from repro.core.expressions import QoI
+from repro.core.masking import ZeroMask
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class QoIRequest:
+    """One entry of an analysis request: a QoI and its tolerance.
+
+    Parameters
+    ----------
+    name:
+        Label used in results.
+    qoi:
+        The derivable-QoI expression tree.
+    tolerance:
+        Relative tolerance (absolute when ``qoi_range`` is 1.0).
+    qoi_range:
+        Value range of the QoI (§III-C's relative-error denominator).
+    region:
+        Optional boolean mask (QoI-output shaped): the tolerance is
+        enforced only where the mask is True — region-of-interest
+        retrieval in the spirit of the RoI-preserving compressors the
+        paper cites [23].  Bounds outside the region are ignored.
+    """
+
+    name: str
+    qoi: QoI
+    tolerance: float
+    qoi_range: float = 1.0
+    region: object = None
+
+    @property
+    def absolute_tolerance(self) -> float:
+        return float(self.tolerance) * float(self.qoi_range)
+
+    def masked_bound(self, bound):
+        """Bound array restricted to the region (flat view)."""
+        bound = np.asarray(bound)
+        if self.region is None:
+            return bound.ravel()
+        region = np.asarray(self.region, dtype=bool)
+        if region.shape != bound.shape:
+            raise ValueError(
+                f"region shape {region.shape} does not match QoI shape {bound.shape}"
+            )
+        return bound[region]
+
+    def region_indices(self, shape):
+        """Flat indices of the region (all indices when unrestricted)."""
+        if self.region is None:
+            return None
+        return np.flatnonzero(np.asarray(self.region, dtype=bool).ravel())
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of one QoI-preserved retrieval."""
+
+    data: dict
+    bytes_per_variable: dict
+    estimated_errors: dict  # QoI name -> max estimated absolute error
+    satisfied: dict  # QoI name -> bool
+    rounds: int
+    final_ebs: dict
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(self.bytes_per_variable.values()))
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(self.satisfied.values())
+
+
+def refactor_dataset(variables: dict, refactorer: Refactorer) -> dict:
+    """Algorithm 1: refactor every variable of a dataset.
+
+    Returns ``{name: Refactored}``; value ranges needed by Algorithm 3 can
+    be computed from the originals before archiving.
+    """
+    return {name: refactorer.refactor(data) for name, data in variables.items()}
+
+
+class QoIRetriever:
+    """Algorithm 2: iterative QoI-error-controlled data retrieval.
+
+    Parameters
+    ----------
+    refactored:
+        ``{variable name: Refactored}`` progressive representations.
+    value_ranges:
+        ``{variable name: max - min}`` of the original data (refactoring
+        metadata; required by Algorithm 3).
+    masks:
+        Optional ``{variable name: ZeroMask}`` pinning known-exact points
+        (§V-A).  Masked points get ``eps = 0`` in QoI estimation and their
+        bitmap cost is charged to the retrieval size.
+    reduction_factor:
+        Algorithm 4's ``c`` (paper default 1.5).
+    """
+
+    def __init__(
+        self,
+        refactored: dict,
+        value_ranges: dict,
+        masks: dict | None = None,
+        reduction_factor: float = DEFAULT_REDUCTION_FACTOR,
+    ):
+        for name in refactored:
+            if name not in value_ranges:
+                raise ValueError(f"missing value range for variable {name!r}")
+            check_positive(value_ranges[name], name=f"range of {name}")
+        self._refactored = dict(refactored)
+        self._ranges = {k: float(v) for k, v in value_ranges.items()}
+        self._masks = dict(masks or {})
+        self.reduction_factor = float(reduction_factor)
+
+    def session(self) -> "RetrievalSession":
+        """Open a stateful session: successive retrievals reuse fragments.
+
+        This is the progressive workflow end to end — an analyst starts
+        with a loose tolerance and tightens later; already-fetched
+        fragments are never re-transferred (except by PSZ3, whose
+        snapshot redundancy is the point of comparing against it).
+        """
+        return RetrievalSession(self)
+
+    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
+        """Run one retrieval from scratch (a fresh single-use session)."""
+        return self.session().retrieve(requests, max_rounds=max_rounds)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _environment(self, recon: dict, achieved: dict) -> dict:
+        """Environment for QoI evaluation: masked points carry eps = 0."""
+        env = {}
+        for v, rec in recon.items():
+            eps = achieved[v]
+            mask = self._masks.get(v)
+            if mask is not None and np.isfinite(eps):
+                env[v] = (rec, mask.pointwise_eps(eps, rec.shape))
+            else:
+                env[v] = (rec, eps)
+        return env
+
+
+class RetrievalSession:
+    """Stateful retrieval: readers persist across ``retrieve`` calls.
+
+    Opened via :meth:`QoIRetriever.session`.  Each call runs Algorithm 2
+    against the *current* reader state, so a later, tighter request only
+    moves the incremental fragments (the defining economy of progressive
+    retrieval).  ``bytes_retrieved`` totals are cumulative per variable.
+    """
+
+    def __init__(self, retriever: QoIRetriever):
+        self._retriever = retriever
+        self._readers: dict = {}
+        self._ebs: dict = {}
+        self._achieved: dict = {}
+
+    def _reader(self, variable: str):
+        if variable not in self._readers:
+            self._readers[variable] = self._retriever._refactored[variable].reader()
+            self._achieved[variable] = np.inf
+        return self._readers[variable]
+
+    def bytes_retrieved(self, variable: str | None = None) -> int:
+        """Cumulative bytes fetched in this session."""
+        if variable is not None:
+            return self._readers[variable].bytes_retrieved if variable in self._readers else 0
+        return sum(r.bytes_retrieved for r in self._readers.values())
+
+    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
+        """Run the QoI-preserved retrieval loop for *requests*."""
+        retriever = self._retriever
+        requests = list(requests)
+        if not requests:
+            raise ValueError("at least one QoIRequest is required")
+        involved = sorted(set().union(*(r.qoi.variables() for r in requests)))
+        missing = [v for v in involved if v not in retriever._refactored]
+        if missing:
+            raise ValueError(f"QoIs reference unknown variables: {missing}")
+        sw = Stopwatch()
+
+        readers = {v: self._reader(v) for v in involved}
+        # Algorithm 3 seeds only variables this session has not tightened yet
+        for v in involved:
+            seed = assign_eb(
+                retriever._ranges[v],
+                [r.tolerance for r in requests if v in r.qoi.variables()],
+            )
+            self._ebs[v] = min(self._ebs.get(v, np.inf), seed)
+        ebs = self._ebs
+        achieved = self._achieved
+
+        recon: dict = {}
+        estimated = {r.name: np.inf for r in requests}
+        satisfied = {r.name: False for r in requests}
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            progressed = False
+            with sw.section("fetch"):
+                for v in involved:
+                    reader = readers[v]
+                    rec = reader.request(ebs[v])
+                    bound = reader.current_error_bound
+                    if bound < achieved[v]:
+                        progressed = True
+                    achieved[v] = bound
+                    mask = retriever._masks.get(v)
+                    recon[v] = mask.pin(rec.copy()) if mask is not None else rec
+
+            env = retriever._environment(recon, {v: achieved[v] for v in involved})
+            all_met = True
+            worst: dict = {}
+            with sw.section("estimate"):
+                for req in requests:
+                    _, bound = req.qoi.evaluate(env)
+                    bound = np.asarray(bound)
+                    masked = req.masked_bound(bound)
+                    est = float(np.max(masked)) if masked.size else 0.0
+                    estimated[req.name] = est
+                    met = est <= req.absolute_tolerance
+                    satisfied[req.name] = met
+                    if not met:
+                        all_met = False
+                        region_idx = req.region_indices(bound.shape)
+                        local = int(np.argmax(masked))
+                        worst[req.name] = (
+                            int(region_idx[local]) if region_idx is not None else
+                            int(np.argmax(bound.ravel()))
+                        )
+            if all_met:
+                break
+            if not progressed and rounds > 1:
+                break  # representations exhausted; cannot improve further
+            with sw.section("assign"):
+                for req in requests:
+                    if satisfied[req.name]:
+                        continue
+                    idx = worst[req.name]
+                    point = {
+                        v: float(np.ravel(recon[v])[idx]) for v in req.qoi.variables()
+                    }
+                    current = {v: min(ebs[v], achieved[v]) for v in req.qoi.variables()}
+                    new_ebs = reassign_eb(
+                        req.qoi,
+                        req.absolute_tolerance,
+                        point,
+                        current,
+                        c=retriever.reduction_factor,
+                    )
+                    for v, e in new_ebs.items():
+                        ebs[v] = min(ebs[v], e)
+
+        bytes_per_var = {v: readers[v].bytes_retrieved for v in involved}
+        for v, mask in retriever._masks.items():
+            if v in bytes_per_var:
+                bytes_per_var[v] += mask.nbytes
+        return RetrievalResult(
+            data=recon,
+            bytes_per_variable=bytes_per_var,
+            estimated_errors=estimated,
+            satisfied=satisfied,
+            rounds=rounds,
+            final_ebs={v: ebs[v] for v in involved},
+            stopwatch=sw,
+        )

@@ -1,0 +1,26 @@
+"""Synthetic dataset substrates standing in for the paper's Table III.
+
+The GE CFD data is proprietary and the full NYX/Hurricane/S3D snapshots
+are multi-GB downloads; the generators here produce fields with the same
+*structure* — smoothness, value scales, zero-wall nodes, multi-species
+positivity — at configurable (default laptop-scale) sizes.  DESIGN.md §1.3
+documents each substitution.
+"""
+
+from repro.data.datasets import Dataset, TABLE3, load_dataset
+from repro.data.generators import (
+    ge_cfd,
+    hurricane,
+    nyx,
+    s3d,
+)
+
+__all__ = [
+    "Dataset",
+    "TABLE3",
+    "load_dataset",
+    "ge_cfd",
+    "hurricane",
+    "nyx",
+    "s3d",
+]

@@ -1,0 +1,132 @@
+"""Dataset registry mirroring the paper's Table III.
+
+``TABLE3`` maps dataset names to :class:`DatasetSpec` entries carrying the
+paper's metadata (dimensions, variable count, size) alongside our scaled
+synthetic-generation defaults, and :func:`load_dataset` materializes the
+fields plus the QoI requests each dataset is evaluated with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.qois import GE_QOIS, molar_product, total_velocity
+from repro.data import generators
+
+
+@dataclass
+class Dataset:
+    """Materialized dataset: fields plus the QoIs the paper evaluates."""
+
+    name: str
+    fields: dict
+    qois: dict  # QoI name -> expression tree
+
+    @property
+    def num_elements(self) -> int:
+        return int(next(iter(self.fields.values())).size)
+
+    def value_ranges(self) -> dict:
+        return {
+            k: float(np.max(v) - np.min(v)) or 1.0 for k, v in self.fields.items()
+        }
+
+    def qoi_ranges(self) -> dict:
+        """Value range of every QoI on the original data (§III-C metric)."""
+        env = {k: (v, 0.0) for k, v in self.fields.items()}
+        out = {}
+        for name, qoi in self.qois.items():
+            vals = qoi.value(env)
+            r = float(np.max(vals) - np.min(vals))
+            out[name] = r if r > 0 else 1.0
+        return out
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Table III row: paper metadata + our scaled generator."""
+
+    name: str
+    paper_dimensions: str
+    num_variables: int
+    dtype: str
+    paper_size: str
+    qoi_description: str
+    generator: object = field(repr=False, default=None)
+
+
+#: The paper's S3D evaluation products (Fig. 6): molar concentrations of
+#: species pairs in the H + O2 <-> O + OH reaction family.
+S3D_PRODUCTS = {
+    "x0*x1": ("x0", "x1"),
+    "x1*x3": ("x1", "x3"),
+    "x3*x4": ("x3", "x4"),
+    "x4*x5": ("x4", "x5"),
+}
+
+
+def _ge_qois():
+    return dict(GE_QOIS)
+
+
+def _vtot_qoi():
+    return {"VTOT": total_velocity()}
+
+
+def _s3d_qois():
+    return {name: molar_product(*species) for name, species in S3D_PRODUCTS.items()}
+
+
+TABLE3 = {
+    "GE-small": DatasetSpec(
+        "GE-small", "200 x { }", 5, "double", "137.96 MB", "Eq.(1) - (6)",
+        lambda scale=1.0, seed=0: generators.ge_cfd(
+            num_nodes=max(16, int(20000 * scale)), seed=seed
+        ),
+    ),
+    "Hurricane": DatasetSpec(
+        "Hurricane", "100 x 500 x 500", 3, "double", "572.20 MB", "Total velocity",
+        lambda scale=1.0, seed=0: generators.hurricane(
+            shape=tuple(max(8, int(n * scale)) for n in (20, 100, 100)), seed=seed
+        ),
+    ),
+    "NYX": DatasetSpec(
+        "NYX", "512 x 512 x 512", 3, "double", "3.00 GB", "Total velocity",
+        lambda scale=1.0, seed=0: generators.nyx(
+            shape=tuple(max(8, int(64 * scale)) for _ in range(3)), seed=seed
+        ),
+    ),
+    "S3D": DatasetSpec(
+        "S3D", "1200 x 334 x 200", 8, "double", "4.78 GB",
+        "Molar concentration multiplication",
+        lambda scale=1.0, seed=0: generators.s3d(
+            shape=tuple(max(8, int(n * scale)) for n in (48, 40, 32)), seed=seed
+        ),
+    ),
+    "GE-large": DatasetSpec(
+        "GE-large", "96 x { }", 5, "double", "7.79 GB", "Eq.(1) - (6)",
+        lambda scale=1.0, seed=0: generators.ge_cfd(
+            num_nodes=max(16, int(8000 * scale)), num_blocks=4, seed=seed
+        ),
+    ),
+}
+
+_QOI_BUILDERS = {
+    "GE-small": _ge_qois,
+    "GE-large": _ge_qois,
+    "Hurricane": _vtot_qoi,
+    "NYX": _vtot_qoi,
+    "S3D": _s3d_qois,
+}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Materialize a Table III dataset at a given size *scale*."""
+    try:
+        spec = TABLE3[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; options: {sorted(TABLE3)}")
+    fields = spec.generator(scale=scale, seed=seed)
+    return Dataset(name=name, fields=fields, qois=_QOI_BUILDERS[name]())

@@ -1,0 +1,131 @@
+"""Synthetic field generators mimicking the paper's four applications.
+
+Each generator returns ``{field name: ndarray}`` (float64, the paper's
+evaluation dtype).  Fields are deterministic given the seed, smooth enough
+to compress realistically, and carry the features the paper's evaluation
+leans on:
+
+* **GE CFD** — linearized unstructured turbomachinery state: swirling
+  velocities with *exact-zero wall nodes* (the §V-A mask case), pressure
+  around 1 bar, density around 1.2 kg/m^3.
+* **NYX** — cosmological baryon velocity components as power-law Gaussian
+  random fields (the standard statistical model for large-scale structure
+  velocity fields).
+* **Hurricane** — a translating Rankine-like vortex sampled on a 3D grid,
+  matching the IEEE Vis contest data's structure (strong rotational wind
+  plus weak vertical velocity).
+* **S3D** — 8 reacting-species molar concentrations across a mixing
+  layer: strictly positive, tanh + Gaussian reaction-zone profiles, in
+  the paper's H2/O2 reaction set ordering
+  (x0=H2, x1=O2, x3=H, x4=O, x5=OH).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ge_cfd(num_nodes: int = 20000, num_blocks: int = 1, wall_fraction: float = 0.04, seed: int = 0):
+    """GE-like linearized CFD state (velocities, pressure, density).
+
+    ``num_blocks > 1`` concatenates independently seeded blocks, mirroring
+    the GE data's ``200 x { }`` blocked layout.
+    """
+    if num_nodes < 16:
+        raise ValueError("num_nodes must be >= 16")
+    rng = np.random.default_rng(seed)
+    fields = {k: [] for k in ("velocity_x", "velocity_y", "velocity_z", "pressure", "density")}
+    for b in range(num_blocks):
+        n = num_nodes
+        s = np.linspace(0, 8 * np.pi, n)
+        phase = rng.uniform(0, 2 * np.pi)
+        swirl = 150.0 * np.sin(s + phase) * (1 + 0.2 * np.sin(0.13 * s))
+        vx = swirl + 40.0 + 3.0 * rng.normal(size=n)
+        vy = 90.0 * np.cos(s * 0.7 + phase) + 2.0 * rng.normal(size=n)
+        vz = 35.0 * np.sin(s * 1.3) + 1.5 * rng.normal(size=n)
+        pressure = 1.0e5 + 2.5e4 * np.sin(s / 3 + phase) + 300.0 * rng.normal(size=n)
+        density = 1.2 + 0.25 * np.cos(s / 5) + 0.004 * rng.normal(size=n)
+        if wall_fraction > 0:
+            walls = rng.random(n) < wall_fraction
+            vx[walls] = vy[walls] = vz[walls] = 0.0
+        for name, arr in zip(fields, (vx, vy, vz, pressure, density)):
+            fields[name].append(arr)
+    return {k: np.concatenate(v) for k, v in fields.items()}
+
+
+def _gaussian_random_field(shape, spectral_index=-2.0, rng=None):
+    """Isotropic Gaussian random field with power-law spectrum ~ k^index."""
+    rng = rng or np.random.default_rng(0)
+    kaxes = [np.fft.fftfreq(n) * n for n in shape]
+    kgrid = np.meshgrid(*kaxes, indexing="ij")
+    k2 = sum(k * k for k in kgrid)
+    k2.flat[0] = 1.0  # avoid the DC singularity
+    amplitude = k2 ** (spectral_index / 2.0)
+    amplitude.flat[0] = 0.0
+    noise = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    field = np.real(np.fft.ifftn(noise * amplitude))
+    field /= np.std(field)
+    return field
+
+
+def nyx(shape=(64, 64, 64), velocity_scale: float = 2.5e7, seed: int = 0):
+    """NYX-like baryon velocity components (cm/s scale, as in the code)."""
+    rng = np.random.default_rng(seed)
+    return {
+        f"velocity_{axis}": velocity_scale * _gaussian_random_field(shape, -2.2, rng)
+        for axis in "xyz"
+    }
+
+
+def hurricane(shape=(20, 100, 100), max_wind: float = 70.0, seed: int = 0):
+    """Hurricane-like wind components on a (z, y, x) grid (m/s)."""
+    rng = np.random.default_rng(seed)
+    nz, ny, nx = shape
+    z = np.linspace(0, 1, nz)[:, None, None]
+    y = np.linspace(-1, 1, ny)[None, :, None]
+    x = np.linspace(-1, 1, nx)[None, None, :]
+    # eye drifts with altitude; Rankine vortex tangential profile
+    cx, cy = 0.15 * z, 0.1 * z
+    dx, dy = x - cx, y - cy
+    r = np.sqrt(dx * dx + dy * dy) + 1e-12
+    r_eye = 0.12
+    v_t = max_wind * np.where(r < r_eye, r / r_eye, r_eye / r) * (1 - 0.5 * z)
+    u = -v_t * dy / r + 0.8 * rng.normal(size=shape)
+    v = v_t * dx / r + 0.8 * rng.normal(size=shape)
+    w = 4.0 * np.exp(-((r - r_eye) ** 2) / 0.005) * (1 - z) + 0.2 * rng.normal(size=shape)
+    return {"velocity_x": u, "velocity_y": v, "velocity_z": w}
+
+
+_S3D_SPECIES = ("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7")
+_S3D_BASE = {  # rough molar-concentration scales of an H2/air flame
+    "x0": 3e-3,  # H2
+    "x1": 7e-3,  # O2
+    "x2": 2.5e-2,  # N2-ish diluent
+    "x3": 4e-5,  # H
+    "x4": 6e-5,  # O
+    "x5": 1.2e-4,  # OH
+    "x6": 1.5e-3,  # H2O
+    "x7": 8e-5,  # HO2
+}
+
+
+def s3d(shape=(48, 40, 32), seed: int = 0):
+    """S3D-like molar concentrations of 8 species across a mixing layer."""
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.linspace(-1, 1, n) for n in shape], indexing="ij")
+    mix = 0.5 * (1 + np.tanh(4 * axes[0] + 0.8 * np.sin(3 * axes[1])))
+    flame = np.exp(-((axes[0] - 0.15 * np.sin(2 * axes[2])) ** 2) / 0.02)
+    fields = {}
+    for i, name in enumerate(_S3D_SPECIES):
+        base = _S3D_BASE[name]
+        if name in ("x3", "x4", "x5", "x7"):  # radicals live in the flame zone
+            profile = flame * (0.6 + 0.4 * np.sin(1.7 * axes[1] + i))
+        elif name in ("x0",):  # fuel side
+            profile = (1 - mix) * (1 - 0.7 * flame)
+        elif name in ("x1", "x2"):  # oxidizer side
+            profile = mix * (1 - 0.5 * flame)
+        else:  # products downstream
+            profile = flame + 0.3 * mix
+        noise = 0.02 * rng.normal(size=shape)
+        fields[name] = base * np.clip(profile + noise, 1e-4, None)
+    return fields

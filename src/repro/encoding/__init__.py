@@ -1,0 +1,38 @@
+"""Encoding substrates: quantization, entropy coding, bitplanes.
+
+This subpackage provides the building blocks shared by all three
+progressive compressors evaluated in the paper:
+
+* :mod:`repro.encoding.quantizer` — the error-controlled linear quantizer
+  used by the SZ3-family compressors (guarantees ``|x - x_rec| <= eb``).
+* :mod:`repro.encoding.bytecodec` — zigzag + escape byte serialization of
+  quantization indices, feeding the lossless backend.
+* :mod:`repro.encoding.huffman` — a canonical Huffman codec (the entropy
+  stage of SZ-family compressors), fully usable but not the default
+  backend in pure Python.
+* :mod:`repro.encoding.lossless` — pluggable lossless backends (zlib
+  default; DEFLATE is itself LZ77 + Huffman).
+* :mod:`repro.encoding.bitplane` — exponent-aligned fixed-point bitplane
+  encoding, the progressive-precision mechanism of PMGARD.
+"""
+
+from repro.encoding.quantizer import LinearQuantizer, QuantizedField
+from repro.encoding.bytecodec import encode_ints, decode_ints
+from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.lossless import get_backend, ZlibBackend, RawBackend, HuffmanBackend
+from repro.encoding.bitplane import BitplaneEncoder, BitplaneStream, BitplaneDecoder
+
+__all__ = [
+    "LinearQuantizer",
+    "QuantizedField",
+    "encode_ints",
+    "decode_ints",
+    "HuffmanCodec",
+    "get_backend",
+    "ZlibBackend",
+    "RawBackend",
+    "HuffmanBackend",
+    "BitplaneEncoder",
+    "BitplaneStream",
+    "BitplaneDecoder",
+]

@@ -1,0 +1,63 @@
+"""Serialization of signed quantization indices into compressible bytes.
+
+The SZ-family quantization codes are small signed integers heavily
+concentrated near zero.  We zigzag-map them to unsigned integers and use a
+two-stream escape layout:
+
+* a dense ``uint8`` stream holding values < 255 directly,
+* an escape stream (``uint32``) holding the rare large values,
+
+which the lossless backend (zlib by default) then compresses.  Keeping the
+common case one byte wide gives DEFLATE's Huffman stage the same skewed
+distribution SZ's custom Huffman exploits, with no Python-level loops.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MAGIC = b"RQI1"
+_ESCAPE = 255
+
+
+def zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed to unsigned: 0,-1,1,-2,2,... -> 0,1,2,3,4,..."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    u = np.asarray(values, dtype=np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)) ^ -(u & np.uint64(1)).astype(np.int64)
+
+
+def encode_ints(values: np.ndarray) -> bytes:
+    """Encode a signed integer array into the two-stream byte layout."""
+    u = zigzag(values)
+    if u.size and int(u.max()) > 0xFFFFFFFF:
+        raise ValueError("quantization index out of uint32 escape range")
+    small = u < _ESCAPE
+    dense = np.where(small, u, _ESCAPE).astype(np.uint8)
+    escapes = u[~small].astype(np.uint32)
+    header = _MAGIC + struct.pack("<QQ", u.size, escapes.size)
+    return header + dense.tobytes() + escapes.tobytes()
+
+
+def decode_ints(payload: bytes) -> np.ndarray:
+    """Decode the output of :func:`encode_ints` back to ``int64``."""
+    if payload[:4] != _MAGIC:
+        raise ValueError("bad magic in integer stream")
+    n, n_esc = struct.unpack_from("<QQ", payload, 4)
+    off = 4 + 16
+    dense = np.frombuffer(payload, dtype=np.uint8, count=n, offset=off)
+    off += n
+    escapes = np.frombuffer(payload, dtype=np.uint32, count=n_esc, offset=off)
+    u = dense.astype(np.uint64)
+    esc_pos = np.flatnonzero(dense == _ESCAPE)
+    if esc_pos.size != n_esc:
+        raise ValueError("escape count mismatch in integer stream")
+    u[esc_pos] = escapes.astype(np.uint64)
+    return unzigzag(u)

@@ -1,0 +1,148 @@
+"""Canonical Huffman codec for integer symbol streams.
+
+SZ-family compressors entropy-code their quantization indices with a custom
+Huffman coder.  This module provides a faithful, self-contained equivalent:
+
+* tree construction with :mod:`heapq` over symbol frequencies,
+* canonical code assignment (codes ordered by ``(length, symbol)``), so the
+  code table serializes as just the symbol list and the per-symbol lengths,
+* vectorized encoding (bit scatter grouped by code length — no per-symbol
+  Python loop, see :func:`repro.utils.bits.pack_varlen_codes`),
+* table-driven decoding bounded to 16-bit codes (frequencies are
+  progressively flattened until the longest code fits, a standard
+  length-limiting heuristic).
+
+Decoding walks the symbol stream in a Python loop (one table lookup per
+symbol); this is why :class:`repro.encoding.lossless.ZlibBackend` is the
+default entropy stage for large arrays, while this codec backs the
+entropy-ablation benchmark and small metadata streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bits import pack_varlen_codes
+
+_MAGIC = b"RHC1"
+_MAX_CODE_LEN = 16
+
+
+def _code_lengths_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Huffman code length per symbol given frequency counts (>0 each)."""
+    n = counts.size
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    heap = [(int(c), i, None) for i, c in enumerate(counts)]
+    heapq.heapify(heap)
+    # internal nodes: (count, tiebreak, (left, right))
+    tiebreak = n
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        heapq.heappush(heap, (a[0] + b[0], tiebreak, (a, b)))
+        tiebreak += 1
+    lengths = np.zeros(n, dtype=np.int64)
+    # iterative DFS to avoid recursion limits on degenerate trees
+    stack = [(heap[0], 0)]
+    while stack:
+        node, depth = stack.pop()
+        _, idx, children = node
+        if children is None:
+            lengths[idx] = max(depth, 1)
+        else:
+            stack.append((children[0], depth + 1))
+            stack.append((children[1], depth + 1))
+    return lengths
+
+
+def _limited_code_lengths(counts: np.ndarray, max_len: int) -> np.ndarray:
+    """Code lengths capped at *max_len* by flattening the histogram."""
+    counts = counts.astype(np.int64)
+    lengths = _code_lengths_from_counts(counts)
+    while int(lengths.max()) > max_len:
+        counts = (counts + 1) >> 1  # halve dynamic range, keep >0
+        lengths = _code_lengths_from_counts(counts)
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given code lengths (Kraft-valid)."""
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for rank, sym in enumerate(order):
+        cur_len = int(lengths[sym])
+        if rank:
+            code = (code + 1) << (cur_len - prev_len)
+        codes[sym] = code
+        prev_len = cur_len
+    return codes
+
+
+@dataclass
+class HuffmanCodec:
+    """Encode/decode ``int64`` symbol arrays with canonical Huffman codes."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode *symbols*; the code table travels inside the payload."""
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if symbols.size == 0:
+            return _MAGIC + struct.pack("<QQ", 0, 0)
+        alphabet, inverse = np.unique(symbols, return_inverse=True)
+        counts = np.bincount(inverse)
+        lengths = _limited_code_lengths(counts, _MAX_CODE_LEN)
+        codes = _canonical_codes(lengths)
+        payload, nbits = pack_varlen_codes(codes[inverse], lengths[inverse])
+        header = _MAGIC + struct.pack("<QQ", symbols.size, alphabet.size)
+        table = alphabet.tobytes() + lengths.astype(np.uint8).tobytes()
+        return header + struct.pack("<Q", nbits) + table + payload
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Inverse of :meth:`encode`."""
+        if payload[:4] != _MAGIC:
+            raise ValueError("bad magic in Huffman stream")
+        n, asize = struct.unpack_from("<QQ", payload, 4)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        (nbits,) = struct.unpack_from("<Q", payload, 20)
+        off = 28
+        alphabet = np.frombuffer(payload, dtype=np.int64, count=asize, offset=off)
+        off += 8 * asize
+        lengths = np.frombuffer(payload, dtype=np.uint8, count=asize, offset=off).astype(np.int64)
+        off += asize
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8, offset=off))[:nbits]
+        codes = _canonical_codes(lengths)
+        maxlen = int(lengths.max())
+        # Full decode table over maxlen-bit windows: every window whose
+        # prefix matches a codeword maps to (symbol, code length).
+        table_sym = np.zeros(1 << maxlen, dtype=np.int64)
+        table_len = np.zeros(1 << maxlen, dtype=np.int64)
+        for sym_idx in range(asize):
+            L = int(lengths[sym_idx])
+            base = int(codes[sym_idx]) << (maxlen - L)
+            span = 1 << (maxlen - L)
+            table_sym[base : base + span] = alphabet[sym_idx]
+            table_len[base : base + span] = L
+        # Pad the bit array so windows near the end are always readable.
+        padded = np.concatenate([bits, np.zeros(maxlen, dtype=np.uint8)])
+        weights = (1 << np.arange(maxlen - 1, -1, -1)).astype(np.int64)
+        out = np.empty(n, dtype=np.int64)
+        pos = 0
+        tl = table_len  # local aliases for the hot loop
+        ts = table_sym
+        for i in range(n):
+            window = int(padded[pos : pos + maxlen] @ weights)
+            out[i] = ts[window]
+            step = tl[window]
+            if step == 0:
+                raise ValueError("corrupt Huffman stream")
+            pos += step
+        if pos != nbits:
+            raise ValueError("Huffman stream length mismatch")
+        return out

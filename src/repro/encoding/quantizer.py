@@ -1,0 +1,92 @@
+"""Error-controlled linear quantization.
+
+This is the mechanism that gives SZ-family compressors their mathematical
+L-infinity guarantee: a residual ``r`` quantized with bound ``eb`` becomes
+the integer ``q = round(r / (2 eb))`` and is reconstructed as
+``r_rec = q * 2 eb``, so ``|r - r_rec| <= eb`` always holds.
+
+Values whose quantization index would overflow the configured code range
+are treated as *unpredictable* and stored verbatim (the standard SZ outlier
+path); they therefore reconstruct exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_error_bound
+
+
+@dataclass(frozen=True)
+class QuantizedField:
+    """Result of quantizing a residual array.
+
+    Attributes
+    ----------
+    codes:
+        ``int32`` quantization indices, 0 for unpredictable entries.
+    outlier_mask:
+        Boolean array marking unpredictable entries.
+    outlier_values:
+        The raw residuals of unpredictable entries (``float64``).
+    eb:
+        The absolute error bound used.
+    """
+
+    codes: np.ndarray
+    outlier_mask: np.ndarray
+    outlier_values: np.ndarray
+    eb: float
+
+
+class LinearQuantizer:
+    """Uniform scalar quantizer with strict absolute error control.
+
+    Parameters
+    ----------
+    max_code:
+        Largest representable magnitude of a quantization index.  Residuals
+        needing a larger index take the outlier path.  The default (2^20)
+        keeps codes comfortably inside ``int32`` while making outliers rare
+        on real data.
+    """
+
+    def __init__(self, max_code: int = 1 << 20):
+        if max_code < 1:
+            raise ValueError("max_code must be >= 1")
+        self.max_code = int(max_code)
+
+    def quantize(self, residuals: np.ndarray, eb: float) -> QuantizedField:
+        """Quantize *residuals* under absolute bound *eb*.
+
+        Guarantees ``|residual - dequantize(...)| <= eb`` element-wise.
+        """
+        eb = check_error_bound(eb)
+        residuals = np.asarray(residuals, dtype=np.float64)
+        # round-half-away semantics are irrelevant for the bound; np.rint
+        # (banker's rounding) still satisfies |r - q*2eb| <= eb.
+        scaled = residuals / (2.0 * eb)
+        codes64 = np.rint(scaled)
+        outliers = np.abs(codes64) > self.max_code
+        codes = np.where(outliers, 0, codes64).astype(np.int32)
+        return QuantizedField(
+            codes=codes,
+            outlier_mask=outliers,
+            outlier_values=residuals[outliers].astype(np.float64),
+            eb=eb,
+        )
+
+    def dequantize(self, field: QuantizedField) -> np.ndarray:
+        """Reconstruct residuals from a :class:`QuantizedField`."""
+        rec = field.codes.astype(np.float64) * (2.0 * field.eb)
+        if field.outlier_mask.any():
+            rec[field.outlier_mask] = field.outlier_values
+        return rec
+
+    def dequantize_into(self, field: QuantizedField, out: np.ndarray) -> None:
+        """In-place variant of :meth:`dequantize` (avoids an allocation)."""
+        np.multiply(field.codes, 2.0 * field.eb, out=out)
+        if field.outlier_mask.any():
+            out[field.outlier_mask] = field.outlier_values

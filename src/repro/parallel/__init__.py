@@ -1,0 +1,22 @@
+"""Blocked (domain-decomposed) processing, as in the GE-large experiment.
+
+The paper's remote-transfer experiment processes GE-large as 96
+independent blocks, one per worker.  :mod:`repro.parallel.blocks`
+provides the blocked dataset container plus block-parallel refactor and
+QoI-preserved retrieval drivers (thread-pooled: NumPy releases the GIL
+in its kernels, and zlib does too).
+"""
+
+from repro.parallel.blocks import (
+    BlockedDataset,
+    blockwise_refactor,
+    blockwise_retrieve,
+    split_fields,
+)
+
+__all__ = [
+    "BlockedDataset",
+    "blockwise_refactor",
+    "blockwise_retrieve",
+    "split_fields",
+]

@@ -1,0 +1,24 @@
+"""Storage and data-movement substrates.
+
+* :mod:`repro.storage.store` — fragment stores (in-memory / on-disk) with
+  byte accounting, standing in for the PFS / tape tiers of Fig. 1.
+* :mod:`repro.storage.metadata` — dataset manifests recording the
+  refactoring metadata Algorithm 2 needs (shapes, value ranges).
+* :mod:`repro.storage.transfer` — the simulated Globus-like wide-area
+  transfer model used to reproduce Fig. 9 (remote retrieval MCC→Anvil).
+"""
+
+from repro.storage.store import FragmentStore, DiskFragmentStore
+from repro.storage.metadata import VariableMetadata, DatasetManifest
+from repro.storage.transfer import GlobusTransferModel, TransferReport
+from repro.storage.archive import Archive
+
+__all__ = [
+    "FragmentStore",
+    "DiskFragmentStore",
+    "VariableMetadata",
+    "DatasetManifest",
+    "GlobusTransferModel",
+    "TransferReport",
+    "Archive",
+]

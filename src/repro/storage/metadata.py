@@ -1,0 +1,79 @@
+"""Refactoring metadata (the ``{m_i}`` of Algorithms 1–2).
+
+The retrieval side of the framework never sees the original data; what it
+does see is this metadata: per-variable shape, dtype, value range (needed
+by Algorithm 3's relative-to-absolute bound conversion) and the archived
+segment inventory.  Manifests serialize to JSON so the archival and
+retrieval stages can live on different machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class VariableMetadata:
+    """Archival metadata of one refactored variable."""
+
+    name: str
+    shape: tuple
+    dtype: str
+    value_min: float
+    value_max: float
+    compressor: str
+    total_bytes: int
+    segments: list = field(default_factory=list)
+
+    @property
+    def value_range(self) -> float:
+        r = self.value_max - self.value_min
+        return r if r > 0 else 1.0
+
+    @classmethod
+    def from_array(cls, name, data, compressor, total_bytes, segments=None):
+        import numpy as np
+
+        data = np.asarray(data)
+        return cls(
+            name=name,
+            shape=tuple(int(n) for n in data.shape),
+            dtype=str(data.dtype),
+            value_min=float(np.min(data)),
+            value_max=float(np.max(data)),
+            compressor=compressor,
+            total_bytes=int(total_bytes),
+            segments=list(segments or []),
+        )
+
+
+@dataclass
+class DatasetManifest:
+    """All variables of one archived dataset."""
+
+    dataset: str
+    variables: dict = field(default_factory=dict)
+
+    def add(self, meta: VariableMetadata) -> None:
+        self.variables[meta.name] = meta
+
+    def value_ranges(self) -> dict:
+        """The ``{range_i}`` input of Algorithm 2."""
+        return {name: m.value_range for name, m in self.variables.items()}
+
+    def to_json(self) -> str:
+        payload = {
+            "dataset": self.dataset,
+            "variables": {k: asdict(v) for k, v in self.variables.items()},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DatasetManifest":
+        raw = json.loads(payload)
+        manifest = cls(dataset=raw["dataset"])
+        for name, v in raw["variables"].items():
+            v["shape"] = tuple(v["shape"])
+            manifest.variables[name] = VariableMetadata(**v)
+        return manifest

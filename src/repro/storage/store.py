@@ -1,0 +1,81 @@
+"""Keyed fragment stores.
+
+Progressive fragments are opaque byte strings addressed by
+``(variable, segment)`` keys.  The in-memory store backs unit tests and
+benchmarks; the on-disk store demonstrates the archival layout a real
+deployment would use (one file per fragment, so partial retrieval maps to
+partial reads).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_KEY_RE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+class FragmentStore:
+    """In-memory fragment store with byte accounting."""
+
+    def __init__(self):
+        self._data: dict = {}
+
+    def put(self, variable: str, segment: str, payload: bytes) -> None:
+        """Archive one fragment."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("fragment payload must be bytes")
+        self._data[(variable, segment)] = bytes(payload)
+
+    def get(self, variable: str, segment: str) -> bytes:
+        """Fetch one fragment; KeyError when absent."""
+        return self._data[(variable, segment)]
+
+    def has(self, variable: str, segment: str) -> bool:
+        return (variable, segment) in self._data
+
+    def segments(self, variable: str) -> list:
+        """Segment names archived for *variable*, insertion-ordered."""
+        return [seg for (var, seg) in self._data if var == variable]
+
+    def nbytes(self, variable: str | None = None) -> int:
+        """Total archived bytes (optionally for a single variable)."""
+        return sum(
+            len(payload)
+            for (var, _), payload in self._data.items()
+            if variable is None or var == variable
+        )
+
+
+class DiskFragmentStore(FragmentStore):
+    """One-file-per-fragment store rooted at a directory."""
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, variable: str, segment: str) -> str:
+        safe_var = _KEY_RE.sub("_", variable)
+        safe_seg = _KEY_RE.sub("_", segment)
+        return os.path.join(self.root, f"{safe_var}__{safe_seg}.bin")
+
+    def put(self, variable: str, segment: str, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("fragment payload must be bytes")
+        with open(self._path(variable, segment), "wb") as fh:
+            fh.write(payload)
+        self._data[(variable, segment)] = None  # index only; bytes on disk
+
+    def get(self, variable: str, segment: str) -> bytes:
+        if (variable, segment) not in self._data:
+            raise KeyError((variable, segment))
+        with open(self._path(variable, segment), "rb") as fh:
+            return fh.read()
+
+    def nbytes(self, variable: str | None = None) -> int:
+        total = 0
+        for var, seg in self._data:
+            if variable is None or var == variable:
+                total += os.path.getsize(self._path(var, seg))
+        return total

@@ -1,0 +1,31 @@
+"""Multilevel transform substrates for the PMGARD-family compressors.
+
+* :mod:`repro.transforms.interpolation` — per-axis even/odd prediction
+  (the *predict* step of the lifting scheme; multilinear interpolation).
+* :mod:`repro.transforms.l2projection` — the MGARD-style *update* step:
+  an L2 projection correction of the coarse values, solved per axis via a
+  tridiagonal mass-matrix system.
+* :mod:`repro.transforms.multilevel` — the level-by-level decomposition /
+  recomposition driver supporting both the **hierarchical basis** (predict
+  only; the paper's PMGARD-HB) and the **orthogonal basis** (predict +
+  update; PMGARD/MGARD).
+"""
+
+from repro.transforms.interpolation import predict_along_axis, split_even_odd
+from repro.transforms.l2projection import l2_correction_along_axis
+from repro.transforms.multilevel import (
+    HIERARCHICAL,
+    ORTHOGONAL,
+    MultilevelDecomposition,
+    MultilevelTransform,
+)
+
+__all__ = [
+    "predict_along_axis",
+    "split_even_odd",
+    "l2_correction_along_axis",
+    "MultilevelTransform",
+    "MultilevelDecomposition",
+    "HIERARCHICAL",
+    "ORTHOGONAL",
+]

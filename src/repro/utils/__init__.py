@@ -1,0 +1,26 @@
+"""Shared low-level helpers: validation, timing, and bit manipulation.
+
+These utilities are deliberately dependency-free (NumPy only) and are used
+by every other subpackage.  Nothing here is specific to the paper; the
+interesting algorithms live in :mod:`repro.encoding`,
+:mod:`repro.transforms`, :mod:`repro.compressors` and :mod:`repro.core`.
+"""
+
+from repro.utils.validation import (
+    as_float_array,
+    check_error_bound,
+    check_positive,
+    check_shape_match,
+    require,
+)
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "as_float_array",
+    "check_error_bound",
+    "check_positive",
+    "check_shape_match",
+    "require",
+    "Stopwatch",
+    "timed",
+]

@@ -1,0 +1,92 @@
+"""Vectorized bit-packing helpers shared by the Huffman and bitplane codecs.
+
+Python-level bit loops are far too slow for arrays of millions of symbols,
+so everything here works on whole NumPy arrays: variable-length codes are
+scattered into a flat boolean bit buffer grouped by code length, and
+fixed-width fields use :func:`numpy.packbits`/:func:`numpy.unpackbits`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Pack variable-length big-endian codes into a byte string.
+
+    Parameters
+    ----------
+    codes:
+        ``uint64`` array; element *i* holds the codeword for symbol *i* in
+        its low ``lengths[i]`` bits.
+    lengths:
+        Bit length of each codeword (1..57).
+
+    Returns
+    -------
+    (payload, nbits):
+        Packed bytes (MSB-first within each byte) and the exact number of
+        valid bits.
+
+    Notes
+    -----
+    Vectorization strategy: compute each symbol's start offset by cumulative
+    sum, then, for every *distinct* code length L (at most ~30 of them),
+    expand the group's codes into an ``(n_L, L)`` bit matrix with shifts and
+    scatter it into the global bit buffer with fancy indexing.  This keeps
+    the Python-level loop bounded by the number of distinct lengths, not the
+    number of symbols.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if lengths.size and int(lengths.min()) <= 0:
+        raise ValueError("code lengths must be >= 1")
+    nbits = int(lengths.sum())
+    if nbits == 0:
+        return b"", 0
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    bitbuf = np.zeros(nbits, dtype=np.uint8)
+    for length in np.unique(lengths):
+        L = int(length)
+        if L <= 0:
+            raise ValueError(f"invalid code length {L}")
+        sel = lengths == length
+        group_codes = codes[sel]
+        group_offsets = offsets[sel]
+        # Bit j (MSB first) of a code of length L is (code >> (L-1-j)) & 1.
+        shifts = np.arange(L - 1, -1, -1, dtype=np.uint64)
+        bits = (group_codes[:, None] >> shifts[None, :]) & np.uint64(1)
+        positions = group_offsets[:, None] + np.arange(L, dtype=np.int64)[None, :]
+        bitbuf[positions.ravel()] = bits.ravel().astype(np.uint8)
+    return np.packbits(bitbuf).tobytes(), nbits
+
+
+def unpack_bits(payload: bytes, nbits: int) -> np.ndarray:
+    """Inverse of the packing step: bytes -> uint8 array of 0/1 bits."""
+    if nbits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    bits = np.unpackbits(raw)
+    if bits.size < nbits:
+        raise ValueError("payload shorter than declared bit count")
+    return bits[:nbits]
+
+
+def pack_uint_field(values: np.ndarray, width: int) -> bytes:
+    """Pack unsigned integers of fixed bit *width* (1..64), MSB-first."""
+    values = np.asarray(values, dtype=np.uint64)
+    if width < 1 or width > 64:
+        raise ValueError("width must be in [1, 64]")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def unpack_uint_field(payload: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_uint_field`."""
+    bits = unpack_bits(payload, width * count).astype(np.uint64)
+    bits = bits.reshape(count, width)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)

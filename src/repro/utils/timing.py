@@ -1,0 +1,70 @@
+"""Timing helpers used by the benchmark harness and Table IV reproduction.
+
+The paper reports wall-clock refactoring and retrieval times (Table IV,
+Fig. 9).  We measure real elapsed time with :func:`time.perf_counter` and
+expose a simple accumulating stopwatch so the retrieval loop can attribute
+time to its sub-stages (fetch, decode, estimate).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating multi-section stopwatch.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.section("decode"):
+    ...     pass
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    sections: dict = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Sum of all recorded sections, in seconds."""
+        return float(sum(self.sections.values()))
+
+    def get(self, name: str) -> float:
+        """Accumulated time of one section (0.0 if never entered)."""
+        return float(self.sections.get(name, 0.0))
+
+    def reset(self) -> None:
+        self.sections.clear()
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a single-slot elapsed-time recorder.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    class _Slot:
+        elapsed = 0.0
+
+    slot = _Slot()
+    start = time.perf_counter()
+    try:
+        yield slot
+    finally:
+        slot.elapsed = time.perf_counter() - start

@@ -1,0 +1,74 @@
+"""Input validation helpers.
+
+All public entry points of the library validate their inputs through these
+functions so error messages are uniform and informative.  Validation is kept
+cheap (O(1) where possible) because several of these helpers sit on hot
+paths of the retrieval loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds.
+
+    A tiny guard used instead of ``assert`` so that validation survives
+    ``python -O`` and produces a consistent exception type.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def as_float_array(data, *, name: str = "data", dtype=np.float64) -> np.ndarray:
+    """Coerce *data* to a contiguous floating-point ndarray.
+
+    Parameters
+    ----------
+    data:
+        Anything :func:`numpy.asarray` accepts.
+    name:
+        Name used in error messages.
+    dtype:
+        Target floating dtype (default ``float64``).
+
+    Returns
+    -------
+    numpy.ndarray
+        C-contiguous array of *dtype*.  A copy is made only when needed
+        (dtype conversion or non-contiguous input), following the
+        views-over-copies guidance for numerical code.
+    """
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(dtype)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values (NaN/Inf)")
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def check_error_bound(eb: float, *, name: str = "error bound") -> float:
+    """Validate a (absolute) error bound: finite, strictly positive."""
+    eb = float(eb)
+    if not np.isfinite(eb) or eb <= 0.0:
+        raise ValueError(f"{name} must be finite and > 0, got {eb!r}")
+    return eb
+
+
+def check_positive(value: float, *, name: str = "value") -> float:
+    """Validate that a scalar is strictly positive."""
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_shape_match(a: np.ndarray, b: np.ndarray, *, names=("a", "b")) -> None:
+    """Require two arrays to share a shape."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"shape mismatch: {names[0]}{a.shape} vs {names[1]}{b.shape}"
+        )

@@ -1,0 +1,97 @@
+"""Tests for metrics, rate-distortion sweeps and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import bitrate, max_abs_error, relative_linf_error, value_range
+from repro.analysis.rate_distortion import primary_rd_sweep, qoi_error_sweep, qoi_rd_point
+from repro.analysis.reporting import format_curve, format_table
+from repro.compressors.base import make_refactorer
+from repro.core.qois import total_velocity
+from repro.core.retrieval import refactor_dataset
+
+
+class TestMetrics:
+    def test_bitrate(self):
+        assert bitrate(1000, 1000) == 8.0
+
+    def test_bitrate_invalid(self):
+        with pytest.raises(ValueError):
+            bitrate(10, 0)
+
+    def test_relative_error(self):
+        ref = np.array([0.0, 10.0])
+        approx = np.array([1.0, 10.0])
+        assert relative_linf_error(ref, approx) == pytest.approx(0.1)
+
+    def test_max_abs_error_shape_check(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_constant_range(self):
+        assert value_range(np.full(5, 2.0)) == 1.0
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 4 * np.pi, 3000)
+    fields = {
+        "velocity_x": 100 * np.sin(t) + rng.normal(size=t.size),
+        "velocity_y": 50 * np.cos(t) + rng.normal(size=t.size),
+        "velocity_z": 20 * np.sin(2 * t) + rng.normal(size=t.size),
+    }
+    refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+    return fields, refactored
+
+
+class TestPrimarySweep:
+    def test_monotone_bitrate_and_safe_bounds(self, small_setup):
+        fields, refactored = small_setup
+        data = fields["velocity_x"]
+        points = primary_rd_sweep(refactored["velocity_x"], data, [1e-1, 1e-3, 1e-5])
+        rates = [p.bitrate for p in points]
+        assert rates == sorted(rates)
+        for p in points:
+            assert p.actual <= p.estimated * (1 + 1e-9)
+            assert p.estimated <= p.requested * (1 + 1e-12)
+
+
+class TestQoISweep:
+    def test_vtot_sweep(self, small_setup):
+        fields, refactored = small_setup
+        points = qoi_error_sweep(
+            refactored, fields, total_velocity(), "VTOT", [1e-2, 1e-4]
+        )
+        assert len(points) == 2
+        for p in points:
+            assert p.actual <= p.estimated * (1 + 1e-9)
+            assert p.estimated <= p.requested * (1 + 1e-12)
+        assert points[0].bitrate < points[1].bitrate
+
+    def test_single_point_helper(self, small_setup):
+        fields, refactored = small_setup
+        p = qoi_rd_point(refactored, fields, total_velocity(), "VTOT", 1e-3)
+        assert p.requested == 1e-3
+        assert p.seconds >= 0
+        assert p.rounds >= 1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.0001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_curve_uses_fields(self, small_setup):
+        fields, refactored = small_setup
+        points = primary_rd_sweep(refactored["velocity_x"], fields["velocity_x"], [1e-2])
+        out = format_curve("VelocityX", points)
+        assert "== VelocityX ==" in out
+        assert "bitrate" in out

@@ -1,0 +1,133 @@
+"""Tests for the archive/info/retrieve command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_qoi, main
+
+
+@pytest.fixture
+def npy_fields(tmp_path):
+    rng = np.random.default_rng(0)
+    t = np.linspace(0, 10, 2000)
+    fields = {
+        "vx": 80 * np.sin(t) + rng.normal(size=t.size),
+        "vy": 40 * np.cos(t) + rng.normal(size=t.size),
+        "vz": 10 * np.sin(2 * t) + rng.normal(size=t.size),
+    }
+    paths = {}
+    for name, data in fields.items():
+        p = tmp_path / f"{name}.npy"
+        np.save(p, data)
+        paths[name] = str(p)
+    return fields, paths, tmp_path
+
+
+class TestBuildQoI:
+    def test_identity(self):
+        qoi = build_qoi("identity", ["x"])
+        assert qoi.variables() == frozenset({"x"})
+
+    def test_vtot(self):
+        qoi = build_qoi("vtot", ["a", "b", "c"])
+        assert qoi.variables() == frozenset({"a", "b", "c"})
+
+    def test_product(self):
+        qoi = build_qoi("product", ["a", "b"])
+        assert qoi.variables() == frozenset({"a", "b"})
+
+    @pytest.mark.parametrize("spec,fields", [
+        ("identity", ["a", "b"]),
+        ("vtot", ["a"]),
+        ("temperature", ["a"]),
+        ("mach", ["a", "b"]),
+        ("product", ["a"]),
+        ("fourier", ["a"]),
+    ])
+    def test_invalid_specs(self, spec, fields):
+        with pytest.raises(ValueError):
+            build_qoi(spec, fields)
+
+
+class TestEndToEnd:
+    def test_archive_info_retrieve(self, npy_fields, capsys):
+        fields, paths, tmp_path = npy_fields
+        archive_dir = str(tmp_path / "archive")
+        out_dir = str(tmp_path / "out")
+
+        rc = main([
+            "archive", "--out", archive_dir, "--method", "pmgard_hb",
+            *(f"{n}={p}" for n, p in paths.items()),
+        ])
+        assert rc == 0
+        assert "archived 3 variable(s)" in capsys.readouterr().out
+
+        rc = main(["info", "--archive", archive_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in fields:
+            assert name in out
+
+        truth = np.sqrt(sum(fields[k] ** 2 for k in ("vx", "vy", "vz")))
+        qrange = float(truth.max() - truth.min())
+        rc = main([
+            "retrieve", "--archive", archive_dir,
+            "--qoi", "vtot", "--fields", "vx,vy,vz",
+            "--tolerance", "1e-4", "--qoi-range", str(qrange),
+            "--out", out_dir,
+        ])
+        assert rc == 0
+
+        report = json.load(open(os.path.join(out_dir, "report.json")))
+        assert report["satisfied"] is True
+        assert report["estimated_error"] <= 1e-4 * qrange
+        rec = np.sqrt(sum(
+            np.load(os.path.join(out_dir, f"{k}.npy")) ** 2 for k in ("vx", "vy", "vz")
+        ))
+        assert np.max(np.abs(rec - truth)) <= 1e-4 * qrange * (1 + 1e-9)
+
+    def test_retrieve_missing_field(self, npy_fields):
+        fields, paths, tmp_path = npy_fields
+        archive_dir = str(tmp_path / "archive")
+        main(["archive", "--out", archive_dir, f"vx={paths['vx']}"])
+        with pytest.raises(SystemExit):
+            main([
+                "retrieve", "--archive", archive_dir, "--qoi", "vtot",
+                "--fields", "vx,vy,vz", "--tolerance", "1e-3",
+                "--out", str(tmp_path / "o"),
+            ])
+
+    def test_archive_bad_pair(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["archive", "--out", str(tmp_path / "a"), "not-a-pair"])
+
+    def test_identity_roundtrip(self, npy_fields, capsys):
+        fields, paths, tmp_path = npy_fields
+        archive_dir = str(tmp_path / "archive2")
+        out_dir = str(tmp_path / "out2")
+        main(["archive", "--out", archive_dir, "--method", "psz3_delta",
+              f"vx={paths['vx']}"])
+        rc = main([
+            "retrieve", "--archive", archive_dir, "--qoi", "identity",
+            "--fields", "vx", "--tolerance", "1e-6",
+            "--qoi-range", str(float(np.ptp(fields["vx"]))),
+            "--out", out_dir,
+        ])
+        assert rc == 0
+        rec = np.load(os.path.join(out_dir, "vx.npy"))
+        assert np.max(np.abs(rec - fields["vx"])) <= 1e-6 * np.ptp(fields["vx"]) * (1 + 1e-9)
+
+    def test_unsatisfiable_returns_2(self, npy_fields):
+        fields, paths, tmp_path = npy_fields
+        archive_dir = str(tmp_path / "archive3")
+        main(["archive", "--out", archive_dir, "--method", "pmgard_hb",
+              f"vx={paths['vx']}"])
+        rc = main([
+            "retrieve", "--archive", archive_dir, "--qoi", "identity",
+            "--fields", "vx", "--tolerance", "1e-30",
+            "--out", str(tmp_path / "o3"),
+        ])
+        assert rc == 2

@@ -1,0 +1,106 @@
+"""White-box tests for the PMGARD compressors (plane planning, kappa)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.pmgard import PMGARDReader, PMGARDRefactorer
+
+
+def field(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sin(np.linspace(0, 12, n)) + 0.05 * rng.normal(size=n)
+
+
+class TestRefactoring:
+    def test_streams_per_level(self):
+        ref = PMGARDRefactorer(basis="hierarchical").refactor(field())
+        assert len(ref.streams) == ref.decomp.num_levels
+        assert ref.total_bytes > 0
+
+    def test_kappa_matches_transform(self):
+        for basis in ("hierarchical", "orthogonal"):
+            ref = PMGARDRefactorer(basis=basis).refactor(field())
+            assert ref.kappa == ref.transform.kappa(1)
+
+    def test_exact_coefficients_dropped_after_refactor(self):
+        ref = PMGARDRefactorer().refactor(field())
+        assert all(c is None for c in ref.decomp.coefficients)
+
+    def test_num_planes_bounds_floor(self):
+        data = field()
+        shallow = PMGARDRefactorer(num_planes=8).refactor(data)
+        deep = PMGARDRefactorer(num_planes=56).refactor(data)
+        r_shallow = shallow.reader()
+        r_deep = deep.reader()
+        r_shallow.request(1e-300)
+        r_deep.request(1e-300)
+        assert r_deep.current_error_bound < r_shallow.current_error_bound
+
+
+class TestReaderPlanning:
+    def test_greedy_peels_dominant_level(self):
+        ref = PMGARDRefactorer(basis="hierarchical").refactor(field())
+        reader = ref.reader()
+        reader.request(1e-2)
+        consumed = [d.planes_consumed for d in reader._decoders]
+        # something was fetched, and not everything
+        assert any(k > 0 for k in consumed)
+        assert any(k < s.num_planes for k, s in zip(consumed, ref.streams))
+
+    def test_bound_is_sum_of_level_bounds(self):
+        ref = PMGARDRefactorer(basis="hierarchical").refactor(field())
+        reader = ref.reader()
+        reader.request(1e-3)
+        total = sum(
+            ref.kappa * d.error_bound for d in reader._decoders
+        )
+        assert reader.current_error_bound == pytest.approx(total)
+
+    def test_coarse_fetched_once(self):
+        ref = PMGARDRefactorer().refactor(field())
+        reader = ref.reader()
+        reader.request(1e-1)
+        b1 = reader.bytes_retrieved
+        assert b1 >= len(ref.coarse_payload)
+        reader.request(1e-2)
+        # the coarse payload is not re-counted
+        extra = reader.bytes_retrieved - b1
+        assert extra <= sum(s.total_bytes for s in ref.streams)
+
+    def test_reconstruct_cached_until_dirty(self):
+        ref = PMGARDRefactorer().refactor(field())
+        reader = ref.reader()
+        reader.request(1e-2)
+        a = reader.reconstruct()
+        b = reader.reconstruct()
+        assert a is b  # cached
+        reader.request(1e-4)
+        c = reader.reconstruct()
+        assert c is not b
+
+    def test_2d_field(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(40, 30)).cumsum(axis=0).cumsum(axis=1)
+        ref = PMGARDRefactorer(basis="orthogonal").refactor(data)
+        reader = ref.reader()
+        rec = reader.request(1e-3 * np.ptp(data))
+        assert np.max(np.abs(rec - data)) <= reader.current_error_bound * (1 + 1e-9)
+
+
+class TestTinyInputs:
+    def test_smaller_than_min_size(self):
+        data = np.array([1.0, 2.0, 3.0])
+        ref = PMGARDRefactorer(min_size=4).refactor(data)
+        reader = ref.reader()
+        rec = reader.request(1e-12)
+        np.testing.assert_allclose(rec, data, atol=1e-12)
+        assert reader.current_error_bound == 0.0
+
+    def test_constant_field_costs_little(self):
+        data = np.full(512, 7.25)
+        ref = PMGARDRefactorer().refactor(data)
+        reader = ref.reader()
+        rec = reader.request(1e-12)
+        np.testing.assert_allclose(rec, data, atol=1e-10)
+        # all coefficient groups are zero -> only the coarse corner moves
+        assert reader.bytes_retrieved == len(ref.coarse_payload)

@@ -1,0 +1,118 @@
+"""Tests for the ZFP-style block-transform progressive compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.pzfp import (
+    AXIS_GAIN,
+    ZFP_FORWARD,
+    ZFP_INVERSE,
+    PZFPRefactorer,
+    _blockify,
+    _pad_to_blocks,
+    _transform_blocks,
+    _unblockify,
+)
+
+
+class TestTransform:
+    def test_matrix_inverse_exact(self):
+        np.testing.assert_allclose(ZFP_FORWARD @ ZFP_INVERSE, np.eye(4), atol=1e-14)
+
+    def test_gain_positive(self):
+        assert AXIS_GAIN >= 1.0
+
+    def test_dc_coefficient_is_mean(self):
+        # the first row of the forward transform averages the 4 samples
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose((ZFP_FORWARD @ x)[0], x.mean())
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_blocks_roundtrip(self, d):
+        rng = np.random.default_rng(d)
+        blocks = rng.normal(size=(5,) + (4,) * d)
+        fwd = _transform_blocks(blocks, ZFP_FORWARD)
+        back = _transform_blocks(fwd, ZFP_INVERSE)
+        np.testing.assert_allclose(back, blocks, atol=1e-12)
+
+    def test_smooth_block_energy_compaction(self):
+        # on linear data all energy lands in the first coefficients
+        x = np.linspace(0, 1, 4)[None, :]
+        coeffs = _transform_blocks(x, ZFP_FORWARD)
+        assert abs(coeffs[0, 0]) > 10 * abs(coeffs[0, 3])
+
+
+class TestBlockLayout:
+    @pytest.mark.parametrize("shape", [(7,), (8,), (9, 6), (5, 4, 3)])
+    def test_pad_blockify_roundtrip(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=shape)
+        padded, orig = _pad_to_blocks(data)
+        assert all(n % 4 == 0 for n in padded.shape)
+        blocks = _blockify(padded)
+        back = _unblockify(blocks, padded.shape)
+        np.testing.assert_array_equal(back, padded)
+        np.testing.assert_array_equal(back[tuple(slice(0, n) for n in orig)], data)
+
+
+class TestProgressive:
+    def field(self, shape=(30, 26), seed=0):
+        rng = np.random.default_rng(seed)
+        axes = np.meshgrid(*[np.linspace(0, 2 * np.pi, n) for n in shape], indexing="ij")
+        return sum(np.sin(a) for a in axes) + 0.01 * rng.normal(size=shape)
+
+    def test_definition_one_conformance(self):
+        data = self.field()
+        reader = PZFPRefactorer().refactor(data).reader()
+        for eb in (1e-1, 1e-3, 1e-5):
+            rec = reader.request(eb)
+            assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-9)
+            assert reader.current_error_bound <= eb * (1 + 1e-12)
+
+    def test_incremental_bytes(self):
+        data = self.field(seed=1)
+        reader = PZFPRefactorer().refactor(data).reader()
+        sizes = []
+        for eb in (1e-1, 1e-2, 1e-3, 1e-4):
+            reader.request(eb)
+            sizes.append(reader.bytes_retrieved)
+        assert sizes == sorted(sizes)
+        reader.request(1e-2)  # looser request is free
+        assert reader.bytes_retrieved == sizes[-1]
+
+    def test_initial_bound_inf(self):
+        reader = PZFPRefactorer().refactor(self.field(seed=2)).reader()
+        assert reader.current_error_bound == np.inf
+
+    def test_1d_and_3d(self):
+        for shape in [(101,), (10, 9, 8)]:
+            data = self.field(shape=shape, seed=3)
+            reader = PZFPRefactorer().refactor(data).reader()
+            rec = reader.request(1e-4 * np.ptp(data))
+            assert rec.shape == data.shape
+            assert np.max(np.abs(rec - data)) <= reader.current_error_bound * (1 + 1e-9)
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            PZFPRefactorer().refactor(np.zeros((2, 2, 2, 2)))
+
+    @given(st.integers(4, 120), st.floats(1e-6, 1e-1), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_property(self, n, eb, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=n).cumsum()
+        reader = PZFPRefactorer().refactor(data).reader()
+        rec = reader.request(eb * max(np.ptp(data), 1e-6))
+        assert np.max(np.abs(rec - data)) <= reader.current_error_bound * (1 + 1e-9)
+
+
+class TestRegistryIntegration:
+    def test_registered(self):
+        from repro.compressors.base import make_refactorer
+
+        data = np.sin(np.linspace(0, 10, 500))
+        reader = make_refactorer("pzfp").refactor(data).reader()
+        rec = reader.request(1e-4)
+        assert np.max(np.abs(rec - data)) <= 1e-4

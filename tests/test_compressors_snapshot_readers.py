@@ -1,0 +1,100 @@
+"""Edge-case tests for the snapshot-family readers (PSZ3 / PSZ3-delta)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.psz3 import PSZ3Refactorer
+from repro.compressors.psz3_delta import PSZ3DeltaRefactorer
+
+
+def field(n=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    return 10 * np.sin(np.linspace(0, 9, n)) + 0.1 * rng.normal(size=n)
+
+
+class TestPSZ3SnapshotSelection:
+    def test_picks_coarsest_satisfying_snapshot(self):
+        data = field()
+        ref = PSZ3Refactorer(relative_bounds=[1e-1, 1e-2, 1e-3]).refactor(data)
+        reader = ref.reader()
+        # a request between the first two rungs must fetch rung 2 (1e-2)
+        vrange = float(np.ptp(data))
+        reader.request(5e-2 * vrange)
+        assert reader.current_error_bound == pytest.approx(1e-2 * vrange)
+        assert reader.bytes_retrieved == ref.blobs[1].nbytes
+
+    def test_redundant_refetch_on_tightening(self):
+        data = field(seed=1)
+        ref = PSZ3Refactorer(relative_bounds=[1e-1, 1e-2, 1e-3]).refactor(data)
+        reader = ref.reader()
+        vrange = float(np.ptp(data))
+        reader.request(1e-1 * vrange)
+        reader.request(1e-3 * vrange)
+        # both snapshots were paid for — the redundancy by construction
+        assert reader.bytes_retrieved == ref.blobs[0].nbytes + ref.blobs[2].nbytes
+
+    def test_same_snapshot_not_double_counted(self):
+        data = field(seed=2)
+        ref = PSZ3Refactorer(relative_bounds=[1e-1, 1e-2]).refactor(data)
+        reader = ref.reader()
+        vrange = float(np.ptp(data))
+        reader.request(9e-2 * vrange)
+        b = reader.bytes_retrieved
+        reader.request(8e-2 * vrange)  # still the same rung
+        assert reader.bytes_retrieved == b
+
+    def test_no_lossless_tail_best_effort(self):
+        data = field(seed=3)
+        ref = PSZ3Refactorer(relative_bounds=[1e-1, 1e-2], lossless_tail=False).refactor(data)
+        reader = ref.reader()
+        vrange = float(np.ptp(data))
+        rec = reader.request(1e-9 * vrange)  # unreachable: deepest rung returned
+        assert reader.current_error_bound == pytest.approx(1e-2 * vrange)
+        assert np.max(np.abs(rec - data)) <= 1e-2 * vrange * (1 + 1e-12)
+
+
+class TestDeltaChain:
+    def test_chain_folds_incrementally(self):
+        data = field(seed=4)
+        ref = PSZ3DeltaRefactorer(relative_bounds=[1e-1, 1e-2, 1e-3]).refactor(data)
+        reader = ref.reader()
+        vrange = float(np.ptp(data))
+        reader.request(1e-1 * vrange)
+        b1 = reader.bytes_retrieved
+        reader.request(1e-3 * vrange)
+        # chain reuse: the jump to rung 3 fetched rungs 2 and 3 only
+        assert reader.bytes_retrieved == b1 + ref.blobs[1].nbytes + ref.blobs[2].nbytes
+
+    def test_direct_deep_request_fetches_whole_prefix(self):
+        data = field(seed=5)
+        ref = PSZ3DeltaRefactorer(relative_bounds=[1e-1, 1e-2, 1e-3]).refactor(data)
+        reader = ref.reader()
+        reader.request(1e-3 * float(np.ptp(data)))
+        assert reader.bytes_retrieved == sum(b.nbytes for b in ref.blobs)
+
+    def test_each_chain_stage_is_bounded(self):
+        """The defining invariant: after folding rung i the error obeys eb_i."""
+        data = field(seed=6)
+        bounds = [1e-1, 1e-2, 1e-3, 1e-4]
+        ref = PSZ3DeltaRefactorer(relative_bounds=bounds).refactor(data)
+        vrange = float(np.ptp(data))
+        reader = ref.reader()
+        for rb in bounds:
+            rec = reader.request(rb * vrange)
+            assert np.max(np.abs(rec - data)) <= rb * vrange * (1 + 1e-12)
+
+    def test_lossless_after_partial_chain(self):
+        data = field(seed=7)
+        ref = PSZ3DeltaRefactorer(relative_bounds=[1e-1, 1e-2]).refactor(data)
+        reader = ref.reader()
+        vrange = float(np.ptp(data))
+        reader.request(1e-1 * vrange)
+        rec = reader.request(1e-12 * vrange)  # beyond the chain -> tail
+        np.testing.assert_array_equal(rec, data)
+        assert reader.current_error_bound == 0.0
+
+    def test_reconstruct_before_any_request(self):
+        data = field(seed=8)
+        ref = PSZ3DeltaRefactorer().refactor(data)
+        reader = ref.reader()
+        np.testing.assert_array_equal(reader.reconstruct(), np.zeros_like(data))

@@ -1,0 +1,113 @@
+"""Tests for the SZ3-style error-bounded compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.sz3 import SZ3Compressor, _interp_passes, _level_strides
+
+
+def smooth_1d(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 6 * np.pi, n)
+    return np.sin(x) * np.exp(-x / 20) + 0.01 * rng.normal(size=n)
+
+
+def smooth_3d(shape=(24, 20, 18), seed=0):
+    axes = np.meshgrid(*[np.linspace(0, 2 * np.pi, n) for n in shape], indexing="ij")
+    rng = np.random.default_rng(seed)
+    return np.sin(axes[0]) * np.cos(axes[1]) + np.sin(axes[2]) + 0.01 * rng.normal(size=shape)
+
+
+class TestLevelStructure:
+    def test_strides_descend_by_halving(self):
+        strides = _level_strides((100,))
+        assert strides[-1] == 1
+        assert all(a == 2 * b for a, b in zip(strides, strides[1:]))
+
+    def test_passes_cover_everything_once(self):
+        shape = (17, 12)
+        filled = np.zeros(shape, dtype=int)
+        strides = _level_strides(shape)
+        anchor = tuple(slice(0, None, strides[0] * 2) for _ in shape)
+        filled[anchor] += 1
+        for s in strides:
+            for _axis, target, _even in _interp_passes(len(shape), s):
+                filled[target] += 1
+        np.testing.assert_array_equal(filled, 1)
+
+    @pytest.mark.parametrize("shape", [(5,), (2,), (64,), (7, 9), (33, 32), (6, 5, 4)])
+    def test_cover_property_various_shapes(self, shape):
+        filled = np.zeros(shape, dtype=int)
+        strides = _level_strides(shape)
+        anchor = tuple(slice(0, None, strides[0] * 2) for _ in shape)
+        filled[anchor] += 1
+        for s in strides:
+            for _axis, target, _even in _interp_passes(len(shape), s):
+                filled[target] += 1
+        np.testing.assert_array_equal(filled, 1)
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-6, 1e-9])
+    def test_bound_respected_1d(self, eb):
+        data = smooth_1d()
+        c = SZ3Compressor()
+        rec = c.decompress(c.compress(data, eb))
+        assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-12)
+
+    @pytest.mark.parametrize("eb", [1e-2, 1e-5])
+    def test_bound_respected_3d(self, eb):
+        data = smooth_3d()
+        c = SZ3Compressor()
+        rec = c.decompress(c.compress(data, eb))
+        assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-12)
+
+    def test_outlier_path_preserves_bound(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=500)
+        data[::50] += 1e7  # spikes force the outlier path
+        c = SZ3Compressor(max_code=1 << 8)
+        rec = c.decompress(c.compress(data, 1e-3))
+        assert np.max(np.abs(rec - data)) <= 1e-3 * (1 + 1e-12)
+
+    @given(st.integers(2, 300), st.floats(1e-8, 1.0), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_property(self, n, eb, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=n)
+        c = SZ3Compressor()
+        rec = c.decompress(c.compress(data, eb))
+        assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-9)
+
+
+class TestCompressionBehaviour:
+    def test_smooth_data_compresses_well(self):
+        data = smooth_3d((32, 32, 32))
+        c = SZ3Compressor()
+        blob = c.compress(data, 1e-3)
+        raw_bytes = data.size * 8
+        assert blob.nbytes < raw_bytes / 5
+
+    def test_larger_eb_smaller_blob(self):
+        data = smooth_1d(5000)
+        c = SZ3Compressor()
+        sizes = [c.compress(data, eb).nbytes for eb in (1e-2, 1e-4, 1e-6)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_invalid_eb(self):
+        with pytest.raises(ValueError):
+            SZ3Compressor().compress(np.ones(10), -1.0)
+
+    def test_bad_magic(self):
+        from repro.compressors.sz3 import SZ3Blob
+
+        with pytest.raises(ValueError, match="magic"):
+            SZ3Compressor().decompress(SZ3Blob(b"XXXX" + b"\x00" * 64))
+
+    def test_constant_field(self):
+        data = np.full((10, 10), 3.14)
+        c = SZ3Compressor()
+        rec = c.decompress(c.compress(data, 1e-6))
+        assert np.max(np.abs(rec - data)) <= 1e-6

@@ -1,0 +1,181 @@
+"""Property tests for the extension operators (Abs/Min/Max/Clip/MovingAverage).
+
+Every operator must satisfy the same proof obligation as the paper's
+basis: the propagated bound dominates the true error for any admissible
+perturbation of the inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import Var
+from repro.core.extensions import Abs, Clip, Maximum, Minimum, MovingAverage
+
+
+def _verify_bound(expr, env, true_fn, samples=20, seed=0):
+    value, bound = expr.evaluate(env)
+    rng = np.random.default_rng(seed)
+    worst = np.zeros_like(np.asarray(value, dtype=float))
+    for _ in range(samples):
+        perturbed = {}
+        for name, (x, eps) in env.items():
+            x = np.asarray(x, dtype=float)
+            perturbed[name] = x + rng.uniform(-1, 1, x.shape) * eps
+        worst = np.maximum(worst, np.abs(true_fn(perturbed) - value))
+    assert np.all(worst <= np.asarray(bound) * (1 + 1e-9) + 1e-300)
+
+
+class TestAbs:
+    def test_value(self):
+        v, e = Abs(Var("x")).evaluate({"x": (np.array([-2.0, 3.0]), 0.1)})
+        np.testing.assert_array_equal(v, [2.0, 3.0])
+        np.testing.assert_allclose(e, 0.1)
+
+    @given(st.floats(-100, 100), st.floats(1e-9, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_property(self, x, eps):
+        env = {"x": (np.array([x]), eps)}
+        _verify_bound(Abs(Var("x")), env, lambda p: np.abs(p["x"]))
+
+
+class TestMinMax:
+    def test_values(self):
+        env = {"a": (np.array([1.0, 5.0]), 0.0), "b": (np.array([2.0, 3.0]), 0.0)}
+        vmin, _ = Minimum(Var("a"), Var("b")).evaluate(env)
+        vmax, _ = Maximum(Var("a"), Var("b")).evaluate(env)
+        np.testing.assert_array_equal(vmin, [1.0, 3.0])
+        np.testing.assert_array_equal(vmax, [2.0, 5.0])
+
+    @given(
+        st.floats(-50, 50), st.floats(-50, 50),
+        st.floats(1e-9, 5), st.floats(1e-9, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bound_property(self, a, b, ea, eb):
+        env = {"a": (np.array([a]), ea), "b": (np.array([b]), eb)}
+        _verify_bound(Minimum(Var("a"), Var("b")), env,
+                      lambda p: np.minimum(p["a"], p["b"]))
+        _verify_bound(Maximum(Var("a"), Var("b")), env,
+                      lambda p: np.maximum(p["a"], p["b"]))
+
+    def test_variables_union(self):
+        assert Minimum(Var("a"), Var("b")).variables() == frozenset({"a", "b"})
+
+
+class TestClip:
+    def test_value(self):
+        v, _ = Clip(Var("x"), lo=0.0, hi=1.0).evaluate({"x": (np.array([-1.0, 0.5, 2.0]), 0.0)})
+        np.testing.assert_array_equal(v, [0.0, 0.5, 1.0])
+
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            Clip(Var("x"))
+
+    def test_lo_le_hi(self):
+        with pytest.raises(ValueError):
+            Clip(Var("x"), lo=2.0, hi=1.0)
+
+    @given(st.floats(-10, 10), st.floats(1e-9, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_property(self, x, eps):
+        env = {"x": (np.array([x]), eps)}
+        _verify_bound(Clip(Var("x"), lo=-1.0, hi=1.0), env,
+                      lambda p: np.clip(p["x"], -1.0, 1.0))
+
+
+class TestMovingAverage:
+    def test_smooths(self):
+        x = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        v, _ = MovingAverage(Var("x"), 3).evaluate({"x": (x, 0.0)})
+        assert np.ptp(v) < np.ptp(x)
+
+    def test_window_one_identity(self):
+        x = np.linspace(0, 1, 7)
+        v, _ = MovingAverage(Var("x"), 1).evaluate({"x": (x, 0.0)})
+        np.testing.assert_allclose(v, x)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverage(Var("x"), 0)
+
+    def test_bound_property_random_fields(self):
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            x = rng.normal(size=64)
+            eps = float(rng.uniform(1e-6, 0.1))
+            env = {"x": (x, eps)}
+            expr = MovingAverage(Var("x"), int(rng.integers(2, 9)))
+            _verify_bound(
+                expr, env,
+                lambda p, e=expr: uniform(p["x"], e.window),
+                seed=trial,
+            )
+
+    def test_composes_with_basis(self):
+        """Extension nodes slot into ordinary expression trees."""
+        from repro.core.expressions import Sqrt
+
+        expr = MovingAverage(Sqrt(Abs(Var("x"))), 3)
+        env = {"x": (np.linspace(1, 4, 20), 1e-3)}
+        _verify_bound(expr, env, lambda p: uniform(np.sqrt(np.abs(p["x"])), 3))
+
+
+def uniform(x, window):
+    from scipy.ndimage import uniform_filter1d
+
+    return uniform_filter1d(np.asarray(x, dtype=float), window, mode="nearest")
+
+
+class TestDomainReduce:
+    def test_mean_value_and_bound(self):
+        from repro.core.extensions import DomainReduce
+
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        v, b = DomainReduce(Var("x"), kind="mean").evaluate({"x": (x, 0.1)})
+        assert float(v) == pytest.approx(2.5)
+        assert float(b) == pytest.approx(0.1, rel=1e-9)
+
+    def test_sum_bound_scales_with_n(self):
+        from repro.core.extensions import DomainReduce
+
+        x = np.ones(10)
+        _, b = DomainReduce(Var("x"), kind="sum").evaluate({"x": (x, 0.1)})
+        assert float(b) == pytest.approx(1.0, rel=1e-9)
+
+    def test_custom_weights(self):
+        from repro.core.extensions import DomainReduce
+
+        x = np.array([1.0, 2.0])
+        w = np.array([2.0, -1.0])
+        v, b = DomainReduce(Var("x"), kind="sum", weights=w).evaluate({"x": (x, 0.5)})
+        assert float(v) == pytest.approx(0.0)
+        assert float(b) == pytest.approx(1.5, rel=1e-9)
+
+    def test_weights_shape_mismatch(self):
+        from repro.core.extensions import DomainReduce
+
+        with pytest.raises(ValueError, match="weights shape"):
+            DomainReduce(Var("x"), weights=np.ones(3)).evaluate(
+                {"x": (np.ones(5), 0.1)}
+            )
+
+    def test_invalid_kind(self):
+        from repro.core.extensions import DomainReduce
+
+        with pytest.raises(ValueError):
+            DomainReduce(Var("x"), kind="median")
+
+    def test_bound_property_randomized(self):
+        from repro.core.extensions import DomainReduce
+        from repro.core.expressions import Pow
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1, 3, size=50)
+        eps = 1e-3
+        expr = DomainReduce(Pow(Var("x"), 2), kind="mean")  # mean kinetic-like
+        value, bound = expr.evaluate({"x": (x, eps)})
+        for _ in range(30):
+            xp = x + rng.uniform(-eps, eps, x.shape)
+            err = abs(float(np.mean(xp**2)) - float(value))
+            assert err <= float(bound) * (1 + 1e-9)

@@ -1,0 +1,54 @@
+"""Tests for the zero-value bitmap (§V-A outlier management)."""
+
+import numpy as np
+import pytest
+
+from repro.core.masking import ZeroMask
+
+
+class TestConstruction:
+    def test_from_fields_requires_all_zero(self):
+        vx = np.array([0.0, 0.0, 1.0, 0.0])
+        vy = np.array([0.0, 2.0, 0.0, 0.0])
+        mask = ZeroMask.from_fields(vx, vy)
+        np.testing.assert_array_equal(mask.mask, [True, False, False, True])
+        assert mask.count == 2
+
+    def test_from_fields_empty_args(self):
+        with pytest.raises(ValueError):
+            ZeroMask.from_fields()
+
+    def test_multidimensional(self):
+        data = np.zeros((4, 5))
+        data[1, 2] = 3.0
+        mask = ZeroMask.from_fields(data)
+        assert mask.count == 19
+
+
+class TestBehaviour:
+    def test_pin_restores_exact_zero(self):
+        data = np.array([0.0, 5.0, 0.0])
+        mask = ZeroMask.from_fields(data)
+        rec = np.array([1e-4, 5.001, -2e-5])
+        out = mask.pin(rec)
+        np.testing.assert_array_equal(out, [0.0, 5.001, 0.0])
+        assert out is rec  # in place
+
+    def test_pointwise_eps(self):
+        data = np.array([0.0, 5.0])
+        mask = ZeroMask.from_fields(data)
+        eps = mask.pointwise_eps(0.1, data.shape)
+        np.testing.assert_array_equal(eps, [0.0, 0.1])
+
+    def test_payload_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.choice([0.0, 1.0], size=(13, 7))
+        mask = ZeroMask.from_fields(data)
+        back = ZeroMask.from_payload(mask.payload, data.shape)
+        np.testing.assert_array_equal(back.mask, mask.mask)
+
+    def test_nbytes_small_for_sparse_mask(self):
+        data = np.ones(100000)
+        data[::1000] = 0.0
+        mask = ZeroMask.from_fields(data)
+        assert 0 < mask.nbytes < 2000  # packed + zlib'd bitmap is tiny

@@ -1,0 +1,137 @@
+"""Tests for the GE/NYX/S3D QoI builders against direct physics formulas."""
+
+import numpy as np
+import pytest
+
+from repro.core.qois import (
+    GAMMA,
+    GE_QOIS,
+    MACH_EXPONENT,
+    MU_REF,
+    R_GAS,
+    SUTHERLAND_S,
+    T_REF,
+    mach_number,
+    molar_product,
+    speed_of_sound,
+    temperature,
+    total_pressure,
+    total_velocity,
+    viscosity,
+)
+
+
+@pytest.fixture(scope="module")
+def cfd_env():
+    """Physically plausible CFD state with exact values (eps = 0)."""
+    rng = np.random.default_rng(0)
+    n = 200
+    vx = rng.uniform(-100, 300, n)
+    vy = rng.uniform(-100, 100, n)
+    vz = rng.uniform(-50, 50, n)
+    pressure = rng.uniform(5e4, 2e5, n)
+    density = rng.uniform(0.5, 2.0, n)
+    arrays = dict(velocity_x=vx, velocity_y=vy, velocity_z=vz, pressure=pressure, density=density)
+    return {k: (v, 0.0) for k, v in arrays.items()}, arrays
+
+
+def reference(arrays):
+    """Direct NumPy implementations of Eq. (1)-(6)."""
+    vx, vy, vz = arrays["velocity_x"], arrays["velocity_y"], arrays["velocity_z"]
+    p, d = arrays["pressure"], arrays["density"]
+    vtot = np.sqrt(vx**2 + vy**2 + vz**2)
+    t = p / (d * R_GAS)
+    c = np.sqrt(GAMMA * R_GAS * t)
+    mach = vtot / c
+    pt = p * (1 + GAMMA / 2 * mach * mach) ** MACH_EXPONENT
+    mu = MU_REF * (t / T_REF) ** 1.5 * (T_REF + SUTHERLAND_S) / (t + SUTHERLAND_S)
+    return dict(VTOT=vtot, T=t, C=c, Mach=mach, PT=pt, mu=mu)
+
+
+class TestValuesMatchPhysics:
+    @pytest.mark.parametrize("name", ["VTOT", "T", "C", "Mach", "PT", "mu"])
+    def test_registry_value(self, cfd_env, name):
+        env, arrays = cfd_env
+        value, bound = GE_QOIS[name].evaluate(env)
+        np.testing.assert_allclose(value, reference(arrays)[name], rtol=1e-12)
+        np.testing.assert_allclose(bound, 0.0, atol=1e-20)
+
+    def test_builders_equal_registry(self, cfd_env):
+        env, _ = cfd_env
+        for built, name in [
+            (total_velocity(), "VTOT"),
+            (temperature(), "T"),
+            (speed_of_sound(), "C"),
+            (mach_number(), "Mach"),
+            (total_pressure(), "PT"),
+            (viscosity(), "mu"),
+        ]:
+            v1, _ = built.evaluate(env)
+            v2, _ = GE_QOIS[name].evaluate(env)
+            np.testing.assert_allclose(v1, v2)
+
+
+class TestBoundGuarantee:
+    """Perturbed inputs within eps must keep QoI error under the bound."""
+
+    @pytest.mark.parametrize("name", ["VTOT", "T", "C", "Mach", "PT", "mu"])
+    def test_randomized_perturbations(self, cfd_env, name):
+        _, arrays = cfd_env
+        rng = np.random.default_rng(1)
+        eps = {k: 1e-3 * (np.max(v) - np.min(v)) for k, v in arrays.items()}
+        env = {k: (v, eps[k]) for k, v in arrays.items()}
+        value, bound = GE_QOIS[name].evaluate(env)
+        ref_exact = reference(arrays)[name]
+        np.testing.assert_allclose(value, ref_exact, rtol=1e-12)
+        for _ in range(15):
+            perturbed = {
+                k: v + rng.uniform(-eps[k], eps[k], v.shape) for k, v in arrays.items()
+            }
+            err = np.abs(reference(perturbed)[name] - value)
+            ok = np.isfinite(bound)
+            assert np.all(err[ok] <= bound[ok] * (1 + 1e-9))
+
+
+class TestMolarProduct:
+    def test_two_species(self):
+        env = {"x1": (np.array([2.0]), 0.1), "x3": (np.array([3.0]), 0.2)}
+        value, bound = molar_product("x1", "x3").evaluate(env)
+        assert value.item() == 6.0
+        assert bound.item() == pytest.approx(2.0 * 0.2 + 3.0 * 0.1 + 0.02)
+
+    def test_requires_two(self):
+        with pytest.raises(ValueError):
+            molar_product("x1")
+
+    def test_three_species_chain(self):
+        env = {k: (np.array([1.5]), 0.0) for k in ("a", "b", "c")}
+        value, _ = molar_product("a", "b", "c").evaluate(env)
+        assert value.item() == pytest.approx(1.5**3)
+
+
+class TestZeroVelocityLooseness:
+    """Reproduces the paper's rationale for the zero bitmap (§V-A)."""
+
+    def test_sqrt_bound_loose_for_near_zero_reconstruction(self):
+        # a wall node decompressed to a tiny non-zero velocity makes
+        # eps / sqrt(x) explode even though the real error is ~eps
+        env = {
+            "velocity_x": (np.array([1e-9, 100.0]), 1e-3),
+            "velocity_y": (np.array([0.0, 50.0]), 1e-3),
+            "velocity_z": (np.array([0.0, 10.0]), 1e-3),
+        }
+        _, bound = total_velocity().evaluate(env)
+        worst_true_error = np.sqrt(3) * (1e-3 + 1e-9)
+        assert bound[0] > 100 * worst_true_error  # wildly loose
+        assert bound[1] < 10 * 1e-3  # regular node stays tight
+
+    def test_masked_zero_node_is_exact(self):
+        # with the ZeroMask path (eps = 0 at the node) the bound collapses
+        eps = np.array([0.0, 1e-3])
+        env = {
+            "velocity_x": (np.array([0.0, 100.0]), eps),
+            "velocity_y": (np.array([0.0, 50.0]), eps),
+            "velocity_z": (np.array([0.0, 10.0]), eps),
+        }
+        _, bound = total_velocity().evaluate(env)
+        assert bound[0] == 0.0

@@ -1,0 +1,162 @@
+"""Integration tests for the QoI-preserved retrieval loop (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import make_refactorer
+from repro.core.masking import ZeroMask
+from repro.core.qois import GE_QOIS, molar_product, total_velocity
+from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+
+
+def cfd_fields(n=4000, seed=0, with_walls=False):
+    """Synthetic linearized CFD state resembling the GE data."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 6 * np.pi, n)
+    vx = 120 * np.sin(t) + 30 + 2 * rng.normal(size=n)
+    vy = 60 * np.cos(t) + 1.5 * rng.normal(size=n)
+    vz = 20 * np.sin(2 * t) + rng.normal(size=n)
+    pressure = 1e5 + 2e4 * np.sin(t / 2) + 100 * rng.normal(size=n)
+    density = 1.2 + 0.2 * np.cos(t / 3) + 0.002 * rng.normal(size=n)
+    if with_walls:
+        walls = slice(0, n, 20)
+        vx[walls] = vy[walls] = vz[walls] = 0.0
+    return dict(velocity_x=vx, velocity_y=vy, velocity_z=vz, pressure=pressure, density=density)
+
+
+def ranges_of(fields):
+    return {k: float(np.max(v) - np.min(v)) for k, v in fields.items()}
+
+
+@pytest.fixture(scope="module", params=["pmgard_hb", "psz3_delta"])
+def retriever_setup(request):
+    fields = cfd_fields()
+    refactored = refactor_dataset(fields, make_refactorer(request.param))
+    return fields, QoIRetriever(refactored, ranges_of(fields))
+
+
+class TestToleranceGuarantee:
+    @pytest.mark.parametrize("tol", [1e-2, 1e-4])
+    def test_vtot_error_within_tolerance(self, retriever_setup, tol):
+        fields, retriever = retriever_setup
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items() if k.startswith("velocity")})
+        qrange = float(np.max(truth) - np.min(truth))
+        result = retriever.retrieve([QoIRequest("VTOT", qoi, tol, qrange)])
+        assert result.all_satisfied
+        rec_vtot = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+        actual = float(np.max(np.abs(rec_vtot - truth)))
+        assert actual <= result.estimated_errors["VTOT"] * (1 + 1e-9)
+        assert actual <= tol * qrange
+
+    def test_multiple_qois_all_respected(self, retriever_setup):
+        fields, retriever = retriever_setup
+        env0 = {k: (v, 0.0) for k, v in fields.items()}
+        requests = []
+        for name in ["VTOT", "T", "Mach"]:
+            qoi = GE_QOIS[name]
+            truth = qoi.value(env0)
+            qrange = float(np.max(truth) - np.min(truth))
+            requests.append(QoIRequest(name, qoi, 1e-3, qrange))
+        result = retriever.retrieve(requests)
+        assert result.all_satisfied
+        for req in requests:
+            truth = req.qoi.value(env0)
+            rec = req.qoi.value({k: (result.data[k], 0.0) for k in result.data})
+            assert np.max(np.abs(rec - truth)) <= req.absolute_tolerance * (1 + 1e-9)
+
+
+class TestProgressiveEconomy:
+    def test_tighter_tolerance_costs_more(self):
+        fields = cfd_fields(seed=1)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items() if "velocity" in k})
+        qrange = float(np.max(truth) - np.min(truth))
+        sizes = []
+        for tol in [1e-1, 1e-3, 1e-5]:
+            retriever = QoIRetriever(refactored, ranges_of(fields))
+            res = retriever.retrieve([QoIRequest("VTOT", qoi, tol, qrange)])
+            assert res.all_satisfied
+            sizes.append(res.total_bytes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_unused_variables_not_fetched(self):
+        fields = cfd_fields(seed=2)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        retriever = QoIRetriever(refactored, ranges_of(fields))
+        qoi = molar_product("pressure", "density")
+        truth = qoi.value({k: (fields[k], 0.0) for k in ("pressure", "density")})
+        qrange = float(np.max(truth) - np.min(truth))
+        res = retriever.retrieve([QoIRequest("PD", qoi, 1e-3, qrange)])
+        assert set(res.bytes_per_variable) == {"pressure", "density"}
+
+
+class TestMaskIntegration:
+    def test_wall_nodes_do_not_blow_up_retrieval(self):
+        fields = cfd_fields(seed=3, with_walls=True)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        vel = [fields[k] for k in ("velocity_x", "velocity_y", "velocity_z")]
+        mask = ZeroMask.from_fields(*vel)
+        assert mask.count > 0
+        masks = {k: mask for k in ("velocity_x", "velocity_y", "velocity_z")}
+        qoi = total_velocity()
+        truth = qoi.value({k: (fields[k], 0.0) for k in masks})
+        qrange = float(np.max(truth) - np.min(truth))
+        with_mask = QoIRetriever(refactored, ranges_of(fields), masks=masks).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-4, qrange)]
+        )
+        assert with_mask.all_satisfied
+        rec = qoi.value({k: (with_mask.data[k], 0.0) for k in with_mask.data})
+        assert np.max(np.abs(rec - truth)) <= 1e-4 * qrange
+        # masked nodes are exactly zero in the reconstruction
+        assert np.all(with_mask.data["velocity_x"][mask.mask] == 0.0)
+
+    def test_mask_bytes_accounted(self):
+        fields = cfd_fields(seed=4, with_walls=True)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        vel_names = ("velocity_x", "velocity_y", "velocity_z")
+        mask = ZeroMask.from_fields(*(fields[k] for k in vel_names))
+        masks = {k: mask for k in vel_names}
+        qoi = total_velocity()
+        truth = qoi.value({k: (fields[k], 0.0) for k in vel_names})
+        qrange = float(np.max(truth) - np.min(truth))
+        res = QoIRetriever(refactored, ranges_of(fields), masks=masks).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-2, qrange)]
+        )
+        for name in vel_names:
+            assert res.bytes_per_variable[name] >= mask.nbytes
+
+
+class TestValidation:
+    def test_empty_requests(self):
+        fields = cfd_fields(seed=5)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        retriever = QoIRetriever(refactored, ranges_of(fields))
+        with pytest.raises(ValueError):
+            retriever.retrieve([])
+
+    def test_unknown_variable(self):
+        fields = cfd_fields(seed=6)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        retriever = QoIRetriever(refactored, ranges_of(fields))
+        from repro.core.expressions import Var
+
+        with pytest.raises(ValueError, match="unknown variables"):
+            retriever.retrieve([QoIRequest("bad", Var("nope"), 1e-3)])
+
+    def test_missing_range(self):
+        fields = cfd_fields(seed=7)
+        refactored = refactor_dataset(fields, make_refactorer("pmgard_hb"))
+        with pytest.raises(ValueError, match="missing value range"):
+            QoIRetriever(refactored, {})
+
+    def test_result_metadata(self, retriever_setup):
+        fields, retriever = retriever_setup
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items() if "velocity" in k})
+        qrange = float(np.max(truth) - np.min(truth))
+        res = retriever.retrieve([QoIRequest("VTOT", qoi, 1e-3, qrange)])
+        assert res.rounds >= 1
+        assert res.stopwatch.total() > 0
+        assert set(res.final_ebs) == {"velocity_x", "velocity_y", "velocity_z"}

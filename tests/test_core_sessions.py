@@ -1,0 +1,111 @@
+"""Tests for stateful retrieval sessions and region-of-interest requests."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import make_refactorer
+from repro.core.qois import total_velocity
+from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+
+
+def fields(n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 12, n)
+    return {
+        "velocity_x": 90 * np.sin(t) + rng.normal(size=n),
+        "velocity_y": 45 * np.cos(t) + rng.normal(size=n),
+        "velocity_z": 15 * np.sin(2 * t) + rng.normal(size=n),
+    }
+
+
+@pytest.fixture(scope="module")
+def setup():
+    f = fields()
+    refactored = refactor_dataset(f, make_refactorer("pmgard_hb"))
+    ranges = {k: float(v.max() - v.min()) for k, v in f.items()}
+    qoi = total_velocity()
+    truth = qoi.value({k: (v, 0.0) for k, v in f.items()})
+    qrange = float(truth.max() - truth.min())
+    return f, refactored, ranges, qoi, truth, qrange
+
+
+class TestSessionReuse:
+    def test_tightening_is_incremental(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        retriever = QoIRetriever(refactored, ranges)
+        session = retriever.session()
+        r1 = session.retrieve([QoIRequest("VTOT", qoi, 1e-2, qrange)])
+        bytes_after_loose = session.bytes_retrieved()
+        r2 = session.retrieve([QoIRequest("VTOT", qoi, 1e-5, qrange)])
+        bytes_after_tight = session.bytes_retrieved()
+        assert r1.all_satisfied and r2.all_satisfied
+        assert bytes_after_tight > bytes_after_loose
+
+        # a cold retrieval straight to 1e-5 costs the same fragments:
+        # the session paid nothing extra for having stopped at 1e-2 first
+        cold = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-5, qrange)]
+        )
+        assert bytes_after_tight <= cold.total_bytes * 1.01
+
+    def test_loosening_is_free(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        session = QoIRetriever(refactored, ranges).session()
+        session.retrieve([QoIRequest("VTOT", qoi, 1e-4, qrange)])
+        before = session.bytes_retrieved()
+        result = session.retrieve([QoIRequest("VTOT", qoi, 1e-2, qrange)])
+        assert result.all_satisfied
+        assert session.bytes_retrieved() == before
+
+    def test_guarantee_after_each_step(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        session = QoIRetriever(refactored, ranges).session()
+        for tol in (1e-1, 1e-3, 1e-5):
+            result = session.retrieve([QoIRequest("VTOT", qoi, tol, qrange)])
+            assert result.all_satisfied
+            rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+            assert np.max(np.abs(rec - truth)) <= tol * qrange * (1 + 1e-9)
+
+    def test_bytes_retrieved_per_variable(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        session = QoIRetriever(refactored, ranges).session()
+        assert session.bytes_retrieved("velocity_x") == 0
+        session.retrieve([QoIRequest("VTOT", qoi, 1e-3, qrange)])
+        assert session.bytes_retrieved("velocity_x") > 0
+
+
+class TestRegionOfInterest:
+    def test_region_cheaper_than_global(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        n = truth.size
+        region = np.zeros(n, dtype=bool)
+        region[: n // 10] = True  # only the first 10% matters
+
+        roi = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-5, qrange, region=region)]
+        )
+        full = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-5, qrange)]
+        )
+        assert roi.all_satisfied
+        # tolerance holds inside the region
+        rec = qoi.value({k: (roi.data[k], 0.0) for k in roi.data})
+        assert np.max(np.abs(rec - truth)[region]) <= 1e-5 * qrange * (1 + 1e-9)
+        assert roi.total_bytes <= full.total_bytes
+
+    def test_region_shape_mismatch(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        bad = np.ones(7, dtype=bool)
+        with pytest.raises(ValueError, match="region shape"):
+            QoIRetriever(refactored, ranges).retrieve(
+                [QoIRequest("VTOT", qoi, 1e-3, qrange, region=bad)]
+            )
+
+    def test_empty_region_trivially_satisfied(self, setup):
+        f, refactored, ranges, qoi, truth, qrange = setup
+        region = np.zeros(truth.size, dtype=bool)
+        result = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-9, qrange, region=region)]
+        )
+        assert result.all_satisfied
+        assert result.estimated_errors["VTOT"] == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the synthetic dataset generators and Table III registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import S3D_PRODUCTS, TABLE3, load_dataset
+from repro.data.generators import ge_cfd, hurricane, nyx, s3d
+
+
+class TestGECFD:
+    def test_field_names_and_sizes(self):
+        fields = ge_cfd(num_nodes=1000)
+        assert set(fields) == {
+            "velocity_x", "velocity_y", "velocity_z", "pressure", "density",
+        }
+        assert all(v.size == 1000 for v in fields.values())
+
+    def test_wall_nodes_exact_zero(self):
+        fields = ge_cfd(num_nodes=5000, wall_fraction=0.05, seed=1)
+        walls = (
+            (fields["velocity_x"] == 0)
+            & (fields["velocity_y"] == 0)
+            & (fields["velocity_z"] == 0)
+        )
+        assert walls.sum() > 50  # the §V-A mask case exists
+
+    def test_physical_scales(self):
+        fields = ge_cfd(num_nodes=2000)
+        assert 5e4 < np.mean(fields["pressure"]) < 2e5
+        assert 0.5 < np.mean(fields["density"]) < 2.0
+
+    def test_deterministic(self):
+        a = ge_cfd(num_nodes=500, seed=7)
+        b = ge_cfd(num_nodes=500, seed=7)
+        np.testing.assert_array_equal(a["pressure"], b["pressure"])
+
+    def test_blocks_concatenate(self):
+        fields = ge_cfd(num_nodes=300, num_blocks=3)
+        assert fields["pressure"].size == 900
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ge_cfd(num_nodes=4)
+
+
+class TestNYX:
+    def test_shape_and_names(self):
+        fields = nyx(shape=(16, 16, 16))
+        assert set(fields) == {"velocity_x", "velocity_y", "velocity_z"}
+        assert fields["velocity_x"].shape == (16, 16, 16)
+
+    def test_velocity_scale(self):
+        fields = nyx(shape=(16, 16, 16), velocity_scale=1e7)
+        assert 1e6 < np.std(fields["velocity_x"]) < 1e8
+
+    def test_spectral_smoothness(self):
+        # power-law GRFs are smoother than white noise: neighbour
+        # differences are much smaller than the field std
+        f = nyx(shape=(32, 32, 32))["velocity_x"]
+        diff = np.abs(np.diff(f, axis=0)).mean()
+        assert diff < 0.5 * np.std(f)
+
+
+class TestHurricane:
+    def test_vortex_structure(self):
+        fields = hurricane(shape=(8, 64, 64), max_wind=70.0, seed=0)
+        speed = np.sqrt(
+            fields["velocity_x"] ** 2 + fields["velocity_y"] ** 2
+        )
+        assert speed.max() > 40.0  # strong winds near the eye wall
+        assert np.abs(fields["velocity_z"]).max() < speed.max()
+
+
+class TestS3D:
+    def test_eight_positive_species(self):
+        fields = s3d(shape=(12, 10, 8))
+        assert len(fields) == 8
+        for v in fields.values():
+            assert np.all(v > 0)
+
+    def test_radicals_smaller_than_majors(self):
+        fields = s3d(shape=(16, 12, 10))
+        assert fields["x3"].mean() < fields["x1"].mean()
+
+    def test_product_fields_exist(self):
+        fields = s3d(shape=(8, 8, 8))
+        for a, b in S3D_PRODUCTS.values():
+            assert a in fields and b in fields
+
+
+class TestRegistry:
+    def test_table3_complete(self):
+        assert set(TABLE3) == {"GE-small", "Hurricane", "NYX", "S3D", "GE-large"}
+
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_load_scaled(self, name):
+        ds = load_dataset(name, scale=0.2, seed=1)
+        assert ds.num_elements > 0
+        assert len(ds.fields) == TABLE3[name].num_variables
+        assert ds.qois
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("CERN")
+
+    def test_qoi_ranges_positive(self):
+        ds = load_dataset("GE-small", scale=0.1)
+        ranges = ds.qoi_ranges()
+        assert set(ranges) == {"VTOT", "T", "C", "Mach", "PT", "mu"}
+        assert all(r > 0 for r in ranges.values())
+
+    def test_paper_metadata_recorded(self):
+        spec = TABLE3["S3D"]
+        assert spec.paper_size == "4.78 GB"
+        assert spec.num_variables == 8

@@ -1,0 +1,116 @@
+"""Tests for the progressive bitplane codec (PMGARD's precision mechanism)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.bitplane import BitplaneDecoder, BitplaneEncoder
+
+
+def _roundtrip(coeffs, planes, num_planes=32):
+    enc = BitplaneEncoder(num_planes=num_planes)
+    stream = enc.encode(coeffs)
+    dec = BitplaneDecoder(stream)
+    dec.advance_to(planes)
+    return stream, dec
+
+
+class TestEncodeBasics:
+    def test_all_zero_group(self):
+        stream, dec = _roundtrip(np.zeros(16), 8)
+        assert stream.exponent is None
+        assert dec.error_bound == 0.0
+        np.testing.assert_array_equal(dec.reconstruct(), np.zeros(16))
+
+    def test_shape_preserved(self):
+        coeffs = np.arange(24, dtype=float).reshape(2, 3, 4) - 11.5
+        _, dec = _roundtrip(coeffs, 32)
+        assert dec.reconstruct().shape == (2, 3, 4)
+
+    def test_invalid_num_planes(self):
+        with pytest.raises(ValueError):
+            BitplaneEncoder(num_planes=0)
+        with pytest.raises(ValueError):
+            BitplaneEncoder(num_planes=63)
+
+
+class TestProgressiveGuarantee:
+    def test_error_shrinks_with_planes(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=512)
+        enc = BitplaneEncoder(num_planes=40)
+        stream = enc.encode(coeffs)
+        dec = BitplaneDecoder(stream)
+        prev_err = np.inf
+        for k in [1, 2, 4, 8, 16, 32, 40]:
+            dec.advance_to(k)
+            rec = dec.reconstruct()
+            err = np.max(np.abs(rec - coeffs))
+            assert err <= stream.error_bound(k) * (1 + 1e-12)
+            assert err <= prev_err + 1e-15
+            prev_err = err
+
+    def test_full_retrieval_near_lossless(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(size=256)
+        stream, dec = _roundtrip(coeffs, 60, num_planes=60)
+        rec = dec.reconstruct()
+        scale = np.max(np.abs(coeffs))
+        assert np.max(np.abs(rec - coeffs)) <= scale * 2**-58
+
+    def test_incremental_fetch_accounting(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(size=1024)
+        enc = BitplaneEncoder(num_planes=32)
+        stream = enc.encode(coeffs)
+        dec = BitplaneDecoder(stream)
+        b1 = dec.advance_to(8)
+        b2 = dec.advance_to(16)
+        assert b1 == stream.segment_bytes(0, 8)
+        assert b2 == stream.segment_bytes(8, 16)
+        # advancing to an already-consumed level is free
+        assert dec.advance_to(10) == 0
+        assert b1 + b2 == stream.segment_bytes(0, 16)
+
+    def test_signs_recovered(self):
+        coeffs = np.array([-1.0, 1.0, -0.5, 0.25, -0.125])
+        _, dec = _roundtrip(coeffs, 32)
+        rec = dec.reconstruct()
+        np.testing.assert_array_equal(np.sign(rec), np.sign(coeffs))
+
+    def test_error_bound_monotone_in_planes(self):
+        stream = BitplaneEncoder(num_planes=20).encode(np.array([3.7, -1.2]))
+        bounds = [stream.error_bound(k) for k in range(21)]
+        assert all(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 128),
+            elements=st.floats(-1e8, 1e8, allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_property(self, coeffs, planes):
+        enc = BitplaneEncoder(num_planes=32)
+        stream = enc.encode(coeffs)
+        dec = BitplaneDecoder(stream)
+        dec.advance_to(planes)
+        rec = dec.reconstruct()
+        bound = stream.error_bound(planes)
+        assert np.max(np.abs(rec - coeffs)) <= bound * (1 + 1e-9) + 1e-300
+
+
+class TestSizeAccounting:
+    def test_total_bytes_consistent(self):
+        rng = np.random.default_rng(3)
+        stream = BitplaneEncoder(num_planes=16).encode(rng.normal(size=300))
+        assert stream.total_bytes == stream.segment_bytes(0, 16)
+        assert stream.segment_bytes(0, 0) == 0
+
+    def test_zero_group_costs_nothing(self):
+        stream = BitplaneEncoder().encode(np.zeros(50))
+        assert stream.total_bytes == 0

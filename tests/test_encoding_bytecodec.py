@@ -1,0 +1,55 @@
+"""Tests for zigzag/escape integer byte codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bytecodec import decode_ints, encode_ints, unzigzag, zigzag
+
+
+class TestZigzag:
+    def test_known_values(self):
+        v = np.array([0, -1, 1, -2, 2, -64, 63], dtype=np.int64)
+        u = zigzag(v)
+        np.testing.assert_array_equal(u, [0, 1, 2, 3, 4, 127, 126])
+        np.testing.assert_array_equal(unzigzag(u), v)
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        v = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(unzigzag(zigzag(v)), v)
+
+
+class TestIntStream:
+    def test_roundtrip_small(self):
+        v = np.array([0, 1, -1, 5, -300, 70000], dtype=np.int64)
+        np.testing.assert_array_equal(decode_ints(encode_ints(v)), v)
+
+    def test_roundtrip_empty(self):
+        v = np.zeros(0, dtype=np.int64)
+        np.testing.assert_array_equal(decode_ints(encode_ints(v)), v)
+
+    def test_escape_boundary(self):
+        # zigzag values 254/255 straddle the escape marker
+        v = np.array([127, -127, -128, 128], dtype=np.int64)
+        np.testing.assert_array_equal(decode_ints(encode_ints(v)), v)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_ints(b"XXXX" + b"\x00" * 16)
+
+    def test_large_values_roundtrip(self):
+        v = np.array([2**30, -(2**30)], dtype=np.int64)
+        np.testing.assert_array_equal(decode_ints(encode_ints(v)), v)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            encode_ints(np.array([2**40], dtype=np.int64))
+
+    @given(st.lists(st.integers(-(2**30), 2**30), max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        v = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(decode_ints(encode_ints(v)), v)

@@ -1,0 +1,88 @@
+"""Tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import (
+    HuffmanCodec,
+    _canonical_codes,
+    _code_lengths_from_counts,
+    _limited_code_lengths,
+)
+
+
+class TestCodeLengths:
+    def test_single_symbol(self):
+        lengths = _code_lengths_from_counts(np.array([10]))
+        assert lengths.tolist() == [1]
+
+    def test_two_symbols(self):
+        lengths = _code_lengths_from_counts(np.array([1, 1]))
+        assert lengths.tolist() == [1, 1]
+
+    def test_skewed_lengths_ordered(self):
+        lengths = _code_lengths_from_counts(np.array([100, 10, 1]))
+        assert lengths[0] <= lengths[1] <= lengths[2]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(3)
+        counts = rng.integers(1, 1000, size=40)
+        lengths = _code_lengths_from_counts(counts)
+        assert np.sum(2.0 ** (-lengths)) <= 1.0 + 1e-12
+
+    def test_length_limiting(self):
+        # extreme skew would exceed 16 bits unlimited
+        counts = (2 ** np.arange(30)).astype(np.int64)
+        lengths = _limited_code_lengths(counts, 16)
+        assert lengths.max() <= 16
+        assert np.sum(2.0 ** (-lengths)) <= 1.0 + 1e-12
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lengths = np.array([2, 2, 2, 3, 3])
+        codes = _canonical_codes(lengths)
+        strings = [format(int(c), f"0{int(l)}b") for c, l in zip(codes, lengths)]
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestCodecRoundtrip:
+    def test_empty(self):
+        codec = HuffmanCodec()
+        out = codec.decode(codec.encode(np.zeros(0, dtype=np.int64)))
+        assert out.size == 0
+
+    def test_single_repeated_symbol(self):
+        codec = HuffmanCodec()
+        sym = np.full(100, 7, dtype=np.int64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(sym)), sym)
+
+    def test_quantization_like_distribution(self):
+        rng = np.random.default_rng(0)
+        sym = np.rint(rng.normal(scale=3, size=20000)).astype(np.int64)
+        codec = HuffmanCodec()
+        payload = codec.encode(sym)
+        np.testing.assert_array_equal(codec.decode(payload), sym)
+        # entropy coding should beat raw int64 storage comfortably
+        assert len(payload) < sym.size * 2
+
+    def test_negative_symbols(self):
+        codec = HuffmanCodec()
+        sym = np.array([-5, -5, -1, 0, 3, 3, 3], dtype=np.int64)
+        np.testing.assert_array_equal(codec.decode(codec.encode(sym)), sym)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            HuffmanCodec().decode(b"ZZZZ" + b"\x00" * 24)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        sym = np.array(values, dtype=np.int64)
+        codec = HuffmanCodec()
+        np.testing.assert_array_equal(codec.decode(codec.encode(sym)), sym)

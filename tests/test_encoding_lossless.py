@@ -1,0 +1,44 @@
+"""Tests for lossless backends."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.lossless import get_backend
+
+
+@pytest.fixture(params=["zlib", "raw", "huffman"])
+def backend(request):
+    return get_backend(request.param)
+
+
+class TestBackends:
+    def test_bytes_roundtrip(self, backend):
+        payload = bytes(range(256)) * 10
+        assert backend.decompress_bytes(backend.compress_bytes(payload)) == payload
+
+    def test_ints_roundtrip(self, backend):
+        rng = np.random.default_rng(7)
+        values = np.rint(rng.normal(scale=2, size=5000)).astype(np.int64)
+        out = backend.decompress_ints(backend.compress_ints(values))
+        np.testing.assert_array_equal(out, values)
+
+    def test_empty_ints(self, backend):
+        values = np.zeros(0, dtype=np.int64)
+        out = backend.decompress_ints(backend.compress_ints(values))
+        assert out.size == 0
+
+
+class TestZlibSpecifics:
+    def test_compresses_redundant_data(self):
+        b = get_backend("zlib")
+        payload = b"\x00" * 100000
+        assert len(b.compress_bytes(payload)) < 1000
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            get_backend("zlib", level=11)
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError, match="unknown lossless backend"):
+        get_backend("nope")

@@ -1,0 +1,68 @@
+"""Tests for the error-controlled linear quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.quantizer import LinearQuantizer
+
+
+class TestQuantizerBound:
+    def test_basic_bound(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=1000)
+        q = LinearQuantizer()
+        for eb in [1e-1, 1e-3, 1e-6]:
+            field = q.quantize(data, eb)
+            rec = q.dequantize(field)
+            assert np.max(np.abs(rec - data)) <= eb + 1e-15
+
+    def test_zero_residuals(self):
+        q = LinearQuantizer()
+        field = q.quantize(np.zeros(10), 0.1)
+        np.testing.assert_array_equal(field.codes, 0)
+        assert not field.outlier_mask.any()
+
+    def test_outlier_path_exact(self):
+        q = LinearQuantizer(max_code=4)
+        data = np.array([0.0, 0.5, 100.0])
+        field = q.quantize(data, 0.1)
+        assert field.outlier_mask[2]
+        rec = q.dequantize(field)
+        assert rec[2] == 100.0  # outliers reconstruct exactly
+        assert abs(rec[1] - 0.5) <= 0.1
+
+    def test_invalid_eb(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer().quantize(np.ones(3), 0.0)
+
+    def test_invalid_max_code(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(max_code=0)
+
+    def test_dequantize_into(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=100)
+        q = LinearQuantizer()
+        field = q.quantize(data, 0.01)
+        out = np.empty_like(data)
+        q.dequantize_into(field, out)
+        np.testing.assert_allclose(out, q.dequantize(field))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 200),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.floats(1e-9, 1e3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bound_property(self, data, eb):
+        q = LinearQuantizer()
+        field = q.quantize(data, eb)
+        rec = q.dequantize(field)
+        # strict bound with tiny float slack
+        assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-12) + 1e-300

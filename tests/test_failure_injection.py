@@ -1,0 +1,82 @@
+"""Failure-injection tests: corrupted payloads must fail loudly, not
+silently return wrong data."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.compressors.sz3 import SZ3Blob, SZ3Compressor
+from repro.encoding.bitplane import BitplaneDecoder, BitplaneEncoder
+from repro.encoding.bytecodec import encode_ints
+from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.lossless import get_backend
+
+
+class TestCorruptedStreams:
+    def test_sz3_truncated_payload(self):
+        comp = SZ3Compressor()
+        blob = comp.compress(np.sin(np.linspace(0, 6, 500)), 1e-4)
+        with pytest.raises(Exception):
+            comp.decompress(SZ3Blob(blob.payload[: len(blob.payload) // 2]))
+
+    def test_sz3_flipped_magic(self):
+        comp = SZ3Compressor()
+        blob = comp.compress(np.sin(np.linspace(0, 6, 100)), 1e-3)
+        corrupted = b"ZZZZ" + blob.payload[4:]
+        with pytest.raises(ValueError, match="magic"):
+            comp.decompress(SZ3Blob(corrupted))
+
+    def test_bitplane_corrupted_plane(self):
+        stream = BitplaneEncoder(num_planes=16).encode(np.linspace(-1, 1, 64))
+        stream.plane_segments[0] = b"not zlib data"
+        dec = BitplaneDecoder(stream)
+        with pytest.raises(zlib.error):
+            dec.advance_to(4)
+
+    def test_huffman_truncated(self):
+        codec = HuffmanCodec()
+        payload = codec.encode(np.arange(100, dtype=np.int64) % 7)
+        with pytest.raises(Exception):
+            codec.decode(payload[: len(payload) - 10])
+
+    def test_int_stream_escape_corruption(self):
+        payload = bytearray(encode_ints(np.array([300, 1, 2], dtype=np.int64)))
+        # truncate the escape stream
+        with pytest.raises(Exception):
+            from repro.encoding.bytecodec import decode_ints
+
+            decode_ints(bytes(payload[:-2]))
+
+    def test_lossless_backend_garbage(self):
+        backend = get_backend("zlib")
+        with pytest.raises(zlib.error):
+            backend.decompress_bytes(b"garbage")
+
+
+class TestGracefulDomainHandling:
+    def test_quantizer_huge_values_exact(self):
+        """Values beyond the code range take the exact outlier path."""
+        from repro.encoding.quantizer import LinearQuantizer
+
+        q = LinearQuantizer(max_code=10)
+        data = np.array([1e300, -1e300, 0.0])
+        field = q.quantize(data, 1e-6)
+        rec = q.dequantize(field)
+        np.testing.assert_array_equal(rec[:2], data[:2])
+
+    def test_sz3_with_denormal_values(self):
+        comp = SZ3Compressor()
+        data = np.full(64, 5e-324)
+        rec = comp.decompress(comp.compress(data, 1e-300))
+        assert np.max(np.abs(rec - data)) <= 1e-300
+
+    def test_bitplane_mixed_magnitudes(self):
+        """Groups mixing huge and tiny magnitudes stay bounded."""
+        coeffs = np.array([1e12, 1e-12, -1e6, 0.0])
+        enc = BitplaneEncoder(num_planes=40)
+        stream = enc.encode(coeffs)
+        dec = BitplaneDecoder(stream)
+        dec.advance_to(20)
+        rec = dec.reconstruct()
+        assert np.max(np.abs(rec - coeffs)) <= stream.error_bound(20) * (1 + 1e-12)

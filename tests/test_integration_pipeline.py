@@ -1,0 +1,92 @@
+"""End-to-end integration: every Table III dataset through the full
+archive -> manifest -> QoI-preserved retrieval pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import make_refactorer
+from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+from repro.data.datasets import TABLE3, load_dataset
+from repro.storage.metadata import DatasetManifest, VariableMetadata
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3))
+def test_full_pipeline_per_dataset(name):
+    ds = load_dataset(name, scale=0.12, seed=2)
+    refactored = refactor_dataset(ds.fields, make_refactorer("pmgard_hb"))
+
+    # archive-side manifest carries exactly what Algorithm 2 needs
+    manifest = DatasetManifest(name)
+    for var, data in ds.fields.items():
+        manifest.add(
+            VariableMetadata.from_array(var, data, "pmgard_hb", refactored[var].total_bytes)
+        )
+    manifest = DatasetManifest.from_json(manifest.to_json())  # survive (de)serialization
+
+    env0 = {k: (v, 0.0) for k, v in ds.fields.items()}
+    requests = []
+    for qoi_name, qoi in ds.qois.items():
+        vals = qoi.value(env0)
+        qrange = float(np.max(vals) - np.min(vals)) or 1.0
+        requests.append(QoIRequest(qoi_name, qoi, 1e-3, qrange))
+
+    retriever = QoIRetriever(refactored, manifest.value_ranges())
+    result = retriever.retrieve(requests)
+    assert result.all_satisfied, name
+
+    for req in requests:
+        truth = req.qoi.value(env0)
+        rec_env = dict(env0)
+        rec_env.update({k: (result.data[k], 0.0) for k in result.data})
+        rec = req.qoi.value(rec_env)
+        err = float(np.max(np.abs(rec - truth)))
+        assert err <= req.absolute_tolerance * (1 + 1e-9), (name, req.name)
+        assert err <= result.estimated_errors[req.name] * (1 + 1e-9), (name, req.name)
+
+
+class TestUnsatisfiableTolerance:
+    def test_bottoming_out_is_reported_not_lied_about(self):
+        """PMGARD's bitplane floor cannot reach absurd tolerances; the
+        retriever must stop, report satisfied=False, and keep a truthful
+        estimate rather than spinning or claiming success."""
+        fields = {"x": np.sin(np.linspace(0, 10, 2000)), "y": np.cos(np.linspace(0, 10, 2000))}
+        refactored = refactor_dataset(
+            fields, make_refactorer("pmgard_hb", num_planes=12)  # shallow floor
+        )
+        from repro.core.qois import molar_product
+
+        qoi = molar_product("x", "y")
+        ranges = {k: float(v.max() - v.min()) for k, v in fields.items()}
+        retriever = QoIRetriever(refactored, ranges)
+        result = retriever.retrieve(
+            [QoIRequest("xy", qoi, 1e-14, 1.0)], max_rounds=30
+        )
+        assert not result.all_satisfied
+        assert result.rounds <= 30
+        # the estimate stays an upper bound of the truth even in failure
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items()})
+        rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+        actual = float(np.max(np.abs(rec - truth)))
+        assert actual <= result.estimated_errors["xy"] * (1 + 1e-9)
+
+
+class TestMultiMethodAgreement:
+    def test_all_methods_reach_same_guarantee(self):
+        """Different substrates, same contract: the retrieved data from
+        any method satisfies the identical QoI tolerance."""
+        from repro.core.qois import total_velocity
+
+        fields = load_dataset("GE-small", scale=0.1, seed=9).fields
+        vel = {k: v for k, v in fields.items() if k.startswith("velocity")}
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in vel.items()})
+        qrange = float(truth.max() - truth.min())
+        ranges = {k: float(v.max() - v.min()) for k, v in vel.items()}
+        for method in ("psz3", "psz3_delta", "pmgard", "pmgard_hb"):
+            refactored = refactor_dataset(vel, make_refactorer(method))
+            result = QoIRetriever(refactored, ranges).retrieve(
+                [QoIRequest("VTOT", qoi, 1e-4, qrange)]
+            )
+            assert result.all_satisfied, method
+            rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+            assert np.max(np.abs(rec - truth)) <= 1e-4 * qrange * (1 + 1e-9), method

@@ -1,0 +1,99 @@
+"""Edge-path tests sweeping the remaining less-travelled branches."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rate_distortion import RDPoint
+from repro.analysis.reporting import _fmt, format_table
+from repro.transforms.l2projection import l2_correction_along_axis
+from repro.transforms.multilevel import MultilevelTransform
+
+
+class TestReportingFormat:
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_small_scientific(self):
+        assert "e" in _fmt(1e-7)
+
+    def test_fmt_large_scientific(self):
+        assert "e" in _fmt(1.5e6)
+
+    def test_fmt_mid_fixed(self):
+        assert _fmt(3.14159) == "3.1416"
+
+    def test_fmt_non_numeric(self):
+        assert _fmt("abc") == "abc"
+
+    def test_table_without_title(self):
+        out = format_table(["x"], [[1]])
+        assert out.splitlines()[0].strip() == "x"
+
+
+class TestRDPoint:
+    def test_defaults(self):
+        p = RDPoint(requested=1e-3, bitrate=4.0, estimated=9e-4, actual=1e-4,
+                    bytes_retrieved=100)
+        assert p.rounds == 1 and p.seconds == 0.0
+
+    def test_frozen(self):
+        p = RDPoint(1e-3, 4.0, 9e-4, 1e-4, 100)
+        with pytest.raises(AttributeError):
+            p.bitrate = 5.0
+
+
+class TestL2ProjectionEdges:
+    def test_single_even_node(self):
+        # even_size == 1 takes the scalar boundary-mass path
+        w = l2_correction_along_axis(np.array([1.0]), 0, 1)
+        assert w.shape == (1,)
+        assert np.isfinite(w).all()
+
+    def test_empty_details(self):
+        w = l2_correction_along_axis(np.zeros((0,)), 0, 1)
+        np.testing.assert_array_equal(w, np.zeros(1))
+
+
+class TestTransformEdges:
+    def test_axis_of_length_one_skipped(self):
+        data = np.random.default_rng(0).normal(size=(1, 33))
+        tr = MultilevelTransform(basis="orthogonal")
+        rec = tr.recompose(tr.decompose(data))
+        np.testing.assert_allclose(rec, data, atol=1e-10)
+
+    def test_num_levels_counts(self):
+        tr = MultilevelTransform(min_size=4)
+        assert tr.num_levels((3,)) == 0
+        assert tr.num_levels((4,)) == 1
+        assert tr.num_levels((1024,)) == 9
+
+    def test_extreme_aspect_ratio(self):
+        data = np.random.default_rng(1).normal(size=(2, 257))
+        for basis in ("hierarchical", "orthogonal"):
+            tr = MultilevelTransform(basis=basis)
+            rec = tr.recompose(tr.decompose(data))
+            np.testing.assert_allclose(rec, data, atol=1e-9)
+
+
+class TestSZ3ExtremeShapes:
+    @pytest.mark.parametrize("shape", [(2,), (3, 1), (1, 1, 9), (2, 200)])
+    def test_bound_on_degenerate_shapes(self, shape):
+        from repro.compressors.sz3 import SZ3Compressor
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=shape)
+        c = SZ3Compressor()
+        rec = c.decompress(c.compress(data, 1e-4))
+        assert rec.shape == data.shape
+        assert np.max(np.abs(rec - data)) <= 1e-4 * (1 + 1e-12)
+
+
+class TestTransferRoundRobin:
+    def test_unequal_blocks_assigned_fairly(self):
+        from repro.storage.transfer import GlobusTransferModel
+
+        model = GlobusTransferModel(aggregate_bandwidth=4e6, request_latency=0.0, max_streams=2)
+        # stream 0 gets blocks 0+2 (3 MB), stream 1 gets block 1 (1 MB)
+        report = model.transfer([2_000_000, 1_000_000, 1_000_000])
+        assert report.total_time == pytest.approx(1.5, rel=1e-3)
+        assert report.total_bytes == 4_000_000

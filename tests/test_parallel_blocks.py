@@ -1,0 +1,97 @@
+"""Tests for blocked (per-worker) refactor and retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import make_refactorer
+from repro.core.qois import total_velocity
+from repro.parallel.blocks import (
+    BlockedDataset,
+    blockwise_refactor,
+    blockwise_retrieve,
+    split_fields,
+)
+
+
+def fields(n=4800, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 20, n)
+    return {
+        "velocity_x": 100 * np.sin(t) + rng.normal(size=n),
+        "velocity_y": 60 * np.cos(t) + rng.normal(size=n),
+        "velocity_z": 25 * np.sin(3 * t) + rng.normal(size=n),
+    }
+
+
+class TestSplitting:
+    def test_blocks_partition_exactly(self):
+        f = fields()
+        blocked = BlockedDataset.from_fields(f, 7)
+        assert blocked.num_blocks == 7
+        merged = blocked.merge(blocked.blocks)
+        for k in f:
+            np.testing.assert_array_equal(merged[k], f[k])
+
+    def test_uneven_split(self):
+        f = {k: v[:100] for k, v in fields().items()}
+        blocked = BlockedDataset.from_fields(f, 3)
+        sizes = [b["velocity_x"].size for b in blocked.blocks]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_mismatched_leading_axis(self):
+        with pytest.raises(ValueError, match="leading axis"):
+            split_fields({"a": np.zeros(10), "b": np.zeros(11)}, 2)
+
+    def test_too_many_blocks(self):
+        with pytest.raises(ValueError):
+            split_fields({"a": np.zeros(3)}, 5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_fields({"a": np.zeros(10)}, 0)
+
+    def test_merge_block_count_mismatch(self):
+        blocked = BlockedDataset.from_fields(fields(), 4)
+        with pytest.raises(ValueError):
+            blocked.merge(blocked.blocks[:2])
+
+
+class TestBlockwisePipeline:
+    def test_refactor_and_retrieve_guarantee(self):
+        f = fields(seed=1)
+        blocked = BlockedDataset.from_fields(f, 6)
+        refactored = blockwise_refactor(
+            blocked, lambda: make_refactorer("pmgard_hb"), max_workers=3
+        )
+        assert len(refactored) == 6
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in f.items()})
+        qrange = float(truth.max() - truth.min())
+        result = blockwise_retrieve(
+            blocked, refactored, qoi, "VTOT", 1e-4, qrange, max_workers=3
+        )
+        assert result.all_satisfied
+        rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+        # per-block guarantees imply the global one (Linf is a max)
+        assert np.max(np.abs(rec - truth)) <= 1e-4 * qrange * (1 + 1e-9)
+        assert len(result.per_block_bytes) == 6
+        assert result.total_bytes == sum(result.per_block_bytes)
+        assert all(r >= 1 for r in result.per_block_rounds)
+        assert all(s >= 0 for s in result.per_block_seconds)
+
+    def test_block_sizes_vary_with_content(self):
+        rng = np.random.default_rng(2)
+        n = 4000
+        smooth = np.sin(np.linspace(0, 10, n))
+        noisy = smooth.copy()
+        noisy[n // 2 :] += 0.5 * rng.normal(size=n - n // 2)  # second half harder
+        f = {"velocity_x": noisy, "velocity_y": smooth.copy(), "velocity_z": smooth.copy()}
+        blocked = BlockedDataset.from_fields(f, 2)
+        refactored = blockwise_refactor(blocked, lambda: make_refactorer("pmgard_hb"))
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in f.items()})
+        qrange = float(truth.max() - truth.min()) or 1.0
+        result = blockwise_retrieve(blocked, refactored, qoi, "VTOT", 1e-4, qrange)
+        # the noisy block needs more bytes than the smooth one
+        assert result.per_block_bytes[1] > result.per_block_bytes[0]

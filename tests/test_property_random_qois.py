@@ -1,0 +1,97 @@
+"""Randomized QoI-tree property tests.
+
+Hypothesis builds *arbitrary* expression trees from the derivable basis
+(Definitions 2-3) and verifies the composite guarantee end to end: for
+any admissible perturbation of the inputs, the true QoI error never
+exceeds the propagated bound.  This is the strongest statement of the
+paper's Theorems 7-9 the test suite makes — it does not depend on any
+hand-picked QoI."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import Add, Div, Mul, Pow, Radical, Sqrt, Var
+
+VAR_NAMES = ("u", "v", "w")
+
+
+def leaf():
+    return st.sampled_from([Var(n) for n in VAR_NAMES])
+
+
+def expression(max_depth=4):
+    """Recursive strategy over the derivable basis."""
+    return st.recursive(
+        leaf(),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda t: Add([t[0], t[1]])),
+            st.tuples(
+                children, children, st.floats(-3, 3), st.floats(-3, 3)
+            ).map(lambda t: Add([t[0], t[1]], weights=[t[2], t[3]])),
+            st.tuples(children, children).map(lambda t: Mul(t[0], t[1])),
+            st.tuples(children, children).map(lambda t: Div(t[0], t[1])),
+            children.map(Sqrt),
+            st.tuples(children, st.floats(0.5, 30)).map(
+                lambda t: Radical(t[0], c=t[1])
+            ),
+            st.tuples(children, st.sampled_from([1, 2, 3, 1.5, 2.5])).map(
+                lambda t: Pow(t[0], t[1])
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(
+    expression(),
+    st.floats(1e-8, 1e-2),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=150, deadline=None)
+def test_random_tree_bound_dominates_true_error(expr, rel_eps, seed):
+    rng = np.random.default_rng(seed)
+    n = 40
+    # positive, away-from-zero inputs keep most domains valid; domain
+    # failures (inf bounds) are themselves acceptable answers
+    values = {name: rng.uniform(0.5, 5.0, size=n) for name in VAR_NAMES}
+    eps = {name: rel_eps * np.ptp(values[name]) if np.ptp(values[name]) > 0 else rel_eps
+           for name in VAR_NAMES}
+    env = {name: (values[name], eps[name]) for name in VAR_NAMES}
+    value, bound = expr.evaluate(env)
+    value = np.asarray(value, dtype=float)
+    bound = np.asarray(bound, dtype=float)
+    if not np.all(np.isfinite(value)):
+        return  # expression is singular on this draw; nothing to check
+
+    worst = np.zeros_like(value)
+    for _ in range(12):
+        perturbed = {
+            name: (values[name] + rng.uniform(-1, 1, n) * eps[name], 0.0)
+            for name in VAR_NAMES
+        }
+        pv, _ = expr.evaluate(perturbed)
+        worst = np.maximum(worst, np.abs(np.asarray(pv, dtype=float) - value))
+
+    finite = np.isfinite(bound) & np.isfinite(worst)
+    slack = 1e-10 * np.maximum(1.0, np.abs(value[finite]))
+    assert np.all(worst[finite] <= bound[finite] * (1 + 1e-9) + slack)
+
+
+@given(expression(), st.integers(0, 2**31))
+@settings(max_examples=80, deadline=None)
+def test_zero_eps_zero_bound(expr, seed):
+    """Exact inputs must always produce a zero (or inf-domain) bound."""
+    rng = np.random.default_rng(seed)
+    values = {name: rng.uniform(0.5, 5.0, size=10) for name in VAR_NAMES}
+    env = {name: (values[name], 0.0) for name in VAR_NAMES}
+    _, bound = expr.evaluate(env)
+    bound = np.asarray(bound, dtype=float)
+    finite = np.isfinite(bound)
+    assert np.all(bound[finite] <= 1e-12)
+
+
+@given(expression())
+@settings(max_examples=50, deadline=None)
+def test_variables_subset_of_names(expr):
+    assert expr.variables() <= set(VAR_NAMES)

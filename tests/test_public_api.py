@@ -1,0 +1,70 @@
+"""Contract tests for the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_compressor_registry_names(self):
+        for name in ("psz3", "psz3_delta", "pmgard", "pmgard_hb", "pzfp"):
+            assert repro.make_refactorer(name) is not None
+
+
+class TestReadmeQuickstart:
+    """The README's quickstart snippet must keep working verbatim."""
+
+    def test_quickstart_flow(self):
+        fields = repro.data.ge_cfd(num_nodes=2000)
+        refactored = repro.refactor_dataset(
+            fields, repro.make_refactorer("pmgard_hb")
+        )
+        ranges = {k: float(v.max() - v.min()) for k, v in fields.items()}
+
+        qoi = repro.mach_number()
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items()})
+        request = repro.QoIRequest(
+            "Mach", qoi, tolerance=1e-4,
+            qoi_range=float(truth.max() - truth.min()),
+        )
+        result = repro.QoIRetriever(refactored, ranges).retrieve([request])
+        assert result.all_satisfied
+        assert result.total_bytes > 0
+
+    def test_custom_expression_snippet(self):
+        from repro import Radical, Sqrt, Var
+
+        kinetic = 0.5 * Var("density") * Var("velocity_x") ** 2
+        sutherland = Radical(Var("T"), c=110.4)
+        anything = Sqrt(kinetic) / (1.0 + sutherland)
+        env = {
+            "density": (np.array([1.2]), 1e-4),
+            "velocity_x": (np.array([100.0]), 1e-3),
+            "T": (np.array([300.0]), 1e-2),
+        }
+        value, bound = anything.evaluate(env)
+        assert np.isfinite(value).all()
+        assert np.isfinite(bound).all()
+
+    def test_docstring_example_shape(self):
+        # the module docstring promises this flow
+        fields = {k: v for k, v in repro.data.ge_cfd(num_nodes=1500).items()
+                  if k.startswith("velocity")}
+        refactored = repro.refactor_dataset(fields, repro.make_refactorer("pmgard_hb"))
+        ranges = {k: float(v.max() - v.min()) for k, v in fields.items()}
+        retriever = repro.QoIRetriever(refactored, ranges)
+        qoi = repro.total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in fields.items()})
+        result = retriever.retrieve([
+            repro.QoIRequest("VTOT", qoi, tolerance=1e-3,
+                             qoi_range=float(np.ptp(truth))),
+        ])
+        assert result.all_satisfied

@@ -1,0 +1,86 @@
+"""Tests for fragment stores and dataset manifests."""
+
+import numpy as np
+import pytest
+
+from repro.storage.metadata import DatasetManifest, VariableMetadata
+from repro.storage.store import DiskFragmentStore, FragmentStore
+
+
+class TestFragmentStore:
+    def test_put_get_roundtrip(self):
+        store = FragmentStore()
+        store.put("pressure", "level0/plane3", b"abc")
+        assert store.get("pressure", "level0/plane3") == b"abc"
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            FragmentStore().get("x", "seg")
+
+    def test_segments_listing(self):
+        store = FragmentStore()
+        store.put("v", "s0", b"a")
+        store.put("v", "s1", b"bb")
+        store.put("w", "s0", b"c")
+        assert store.segments("v") == ["s0", "s1"]
+
+    def test_nbytes(self):
+        store = FragmentStore()
+        store.put("v", "s0", b"aaaa")
+        store.put("w", "s0", b"bb")
+        assert store.nbytes() == 6
+        assert store.nbytes("v") == 4
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            FragmentStore().put("v", "s", [1, 2, 3])
+
+    def test_has(self):
+        store = FragmentStore()
+        store.put("v", "s", b"x")
+        assert store.has("v", "s") and not store.has("v", "t")
+
+
+class TestDiskStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskFragmentStore(str(tmp_path / "frags"))
+        payload = bytes(range(256))
+        store.put("density", "snap/3", payload)
+        assert store.get("density", "snap/3") == payload
+        assert store.nbytes() == 256
+
+    def test_key_sanitization(self, tmp_path):
+        store = DiskFragmentStore(str(tmp_path / "frags"))
+        store.put("a/b..c", "s:1", b"x")
+        assert store.get("a/b..c", "s:1") == b"x"
+
+    def test_missing(self, tmp_path):
+        store = DiskFragmentStore(str(tmp_path / "frags"))
+        with pytest.raises(KeyError):
+            store.get("v", "s")
+
+
+class TestManifest:
+    def test_value_ranges(self):
+        manifest = DatasetManifest("demo")
+        data = np.array([1.0, 4.0])
+        manifest.add(VariableMetadata.from_array("p", data, "pmgard_hb", 100))
+        assert manifest.value_ranges() == {"p": 3.0}
+
+    def test_constant_field_range_one(self):
+        meta = VariableMetadata.from_array("c", np.ones(5), "psz3", 10)
+        assert meta.value_range == 1.0
+
+    def test_json_roundtrip(self):
+        manifest = DatasetManifest("demo")
+        manifest.add(
+            VariableMetadata.from_array(
+                "p", np.arange(6.0).reshape(2, 3), "psz3", 42, segments=["s0", "s1"]
+            )
+        )
+        back = DatasetManifest.from_json(manifest.to_json())
+        assert back.dataset == "demo"
+        meta = back.variables["p"]
+        assert meta.shape == (2, 3)
+        assert meta.total_bytes == 42
+        assert meta.segments == ["s0", "s1"]

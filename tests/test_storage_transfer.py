@@ -1,0 +1,87 @@
+"""Tests for the simulated Globus transfer model (Fig. 9 substrate)."""
+
+import pytest
+
+from repro.storage.transfer import (
+    DEFAULT_AGGREGATE_BANDWIDTH,
+    GlobusTransferModel,
+    TransferReport,
+)
+
+
+class TestCalibration:
+    def test_baseline_matches_paper(self):
+        # 4.67 GB over 96 blocks should take ~11.7 s (the dashed line)
+        model = GlobusTransferModel(request_latency=0.0)
+        report = model.baseline(int(4.67e9), 96)
+        assert report.total_time == pytest.approx(11.7, rel=0.02)
+
+    def test_reduced_data_speedup(self):
+        model = GlobusTransferModel(request_latency=0.0)
+        baseline = model.baseline(int(4.67e9), 96)
+        reduced = model.transfer([int(4.67e9 * 0.27 / 96)] * 96)
+        assert reduced.speedup_over(baseline) > 2.0
+
+
+class TestModelBehaviour:
+    def test_latency_charged_per_round(self):
+        model = GlobusTransferModel(aggregate_bandwidth=1e9, request_latency=0.5, max_streams=4)
+        one = model.transfer([1000] * 4, rounds_per_block=1)
+        three = model.transfer([1000] * 4, rounds_per_block=3)
+        assert three.total_time == pytest.approx(one.total_time + 1.0)
+
+    def test_slowest_worker_dominates(self):
+        model = GlobusTransferModel(aggregate_bandwidth=8e6, request_latency=0.0, max_streams=2)
+        report = model.transfer([4_000_000, 1000], compute_times=[0.0, 0.0])
+        # stream bw = 4 MB/s; big block takes 1s, small ~0
+        assert report.total_time == pytest.approx(1.0, rel=1e-3)
+
+    def test_more_blocks_than_streams_round_robin(self):
+        model = GlobusTransferModel(aggregate_bandwidth=2e6, request_latency=0.0, max_streams=2)
+        report = model.transfer([1_000_000] * 4)
+        # 2 streams x 2 blocks each at 1 MB/s per stream = 2 s
+        assert report.total_time == pytest.approx(2.0, rel=1e-3)
+
+    def test_compute_time_included(self):
+        model = GlobusTransferModel(aggregate_bandwidth=1e9, request_latency=0.0, max_streams=1)
+        slow = model.transfer([0], compute_times=[2.5])
+        assert slow.total_time >= 2.5
+
+    def test_per_block_rounds(self):
+        model = GlobusTransferModel(aggregate_bandwidth=1e9, request_latency=1.0, max_streams=2)
+        report = model.transfer([0, 0], rounds_per_block=[1, 5])
+        assert report.total_time == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_empty_blocks(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel().transfer([])
+
+    def test_negative_block(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel().transfer([-1])
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel(aggregate_bandwidth=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel(request_latency=-0.1)
+
+    def test_bad_streams(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel(max_streams=0)
+
+    def test_compute_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GlobusTransferModel().transfer([1, 2], compute_times=[0.1])
+
+    def test_default_bandwidth_is_paper_calibrated(self):
+        assert DEFAULT_AGGREGATE_BANDWIDTH == pytest.approx(4.67e9 / 11.7)
+
+    def test_report_speedup(self):
+        a = TransferReport(10.0, 10.0, 0.0, 100, 1)
+        b = TransferReport(5.0, 5.0, 0.0, 50, 1)
+        assert b.speedup_over(a) == 2.0

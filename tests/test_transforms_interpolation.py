@@ -1,0 +1,78 @@
+"""Tests for per-axis prediction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.interpolation import (
+    coarse_shape,
+    fine_node_mask,
+    predict_along_axis,
+    split_even_odd,
+)
+
+
+class TestSplit:
+    def test_views_not_copies(self):
+        a = np.arange(10.0)
+        even, odd = split_even_odd(a, 0)
+        assert even.base is a and odd.base is a
+
+    def test_sizes_odd_length(self):
+        even, odd = split_even_odd(np.arange(7.0), 0)
+        assert even.size == 4 and odd.size == 3
+
+    def test_sizes_even_length(self):
+        even, odd = split_even_odd(np.arange(8.0), 0)
+        assert even.size == 4 and odd.size == 4
+
+    def test_multidim_axis1(self):
+        a = np.arange(12.0).reshape(3, 4)
+        even, odd = split_even_odd(a, 1)
+        assert even.shape == (3, 2) and odd.shape == (3, 2)
+
+
+class TestPredict:
+    def test_linear_data_predicted_exactly_odd_length(self):
+        # linear data: interior odd nodes are exact averages
+        x = np.linspace(0, 1, 9)
+        even, odd = split_even_odd(x, 0)
+        pred = predict_along_axis(even, 0, odd.size)
+        np.testing.assert_allclose(pred, odd)
+
+    def test_even_length_last_node_copies_left(self):
+        x = np.array([0.0, 1.0, 2.0, 10.0])
+        even, odd = split_even_odd(x, 0)
+        pred = predict_along_axis(even, 0, odd.size)
+        # odd node 0 (pos 1): (x0+x2)/2 = 1; odd node 1 (pos 3): copy x2 = 2
+        np.testing.assert_allclose(pred, [1.0, 2.0])
+
+    def test_convexity_never_exceeds_range(self):
+        rng = np.random.default_rng(0)
+        even = rng.normal(size=33)
+        pred = predict_along_axis(even, 0, 32)
+        assert pred.max() <= even.max() + 1e-12
+        assert pred.min() >= even.min() - 1e-12
+
+    def test_axis1(self):
+        a = np.arange(20.0).reshape(4, 5)
+        even, odd = split_even_odd(a, 1)
+        pred = predict_along_axis(even, 1, odd.shape[1])
+        np.testing.assert_allclose(pred, odd)  # data linear along axis 1
+
+    def test_invalid_odd_size(self):
+        with pytest.raises(ValueError):
+            predict_along_axis(np.arange(3.0), 0, 5)
+
+
+class TestMasksAndShapes:
+    def test_coarse_shape(self):
+        assert coarse_shape((8, 9, 2)) == (4, 5, 1)
+
+    def test_fine_mask_counts(self):
+        mask = fine_node_mask((5, 5))
+        assert int(mask.sum()) == 25 - 9  # 3x3 corner is coarse
+
+    def test_fine_mask_corner_false(self):
+        mask = fine_node_mask((4, 4))
+        assert not mask[0, 0] and not mask[2, 2]
+        assert mask[1, 1] and mask[0, 1]

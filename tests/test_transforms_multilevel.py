@@ -1,0 +1,163 @@
+"""Tests for the multilevel lifting transform (both bases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.l2projection import l2_correction_along_axis
+from repro.transforms.multilevel import (
+    HIERARCHICAL,
+    ORTHOGONAL,
+    MultilevelTransform,
+)
+
+
+def _field_1d(n, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 4 * np.pi, n)
+    return np.sin(x) + 0.1 * rng.normal(size=n)
+
+
+def _field_3d(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 2 * np.pi, n) for n in shape]
+    g = np.add.outer(np.add.outer(np.sin(axes[0]), np.cos(axes[1])), np.sin(2 * axes[2]))
+    return g + 0.05 * rng.normal(size=shape)
+
+
+class TestInvertibility:
+    @pytest.mark.parametrize("basis", [HIERARCHICAL, ORTHOGONAL])
+    @pytest.mark.parametrize("n", [5, 8, 17, 33, 100, 257])
+    def test_roundtrip_1d(self, basis, n):
+        data = _field_1d(n)
+        tr = MultilevelTransform(basis=basis)
+        dec = tr.decompose(data)
+        rec = tr.recompose(dec)
+        np.testing.assert_allclose(rec, data, atol=1e-10)
+
+    @pytest.mark.parametrize("basis", [HIERARCHICAL, ORTHOGONAL])
+    @pytest.mark.parametrize("shape", [(9, 9), (16, 17), (8, 12, 10), (7, 5, 6)])
+    def test_roundtrip_nd(self, basis, shape):
+        data = _field_3d(shape) if len(shape) == 3 else np.random.default_rng(1).normal(size=shape)
+        tr = MultilevelTransform(basis=basis)
+        dec = tr.decompose(data)
+        rec = tr.recompose(dec)
+        np.testing.assert_allclose(rec, data, atol=1e-10)
+
+    def test_tiny_array_no_levels(self):
+        data = np.ones((2, 2))
+        tr = MultilevelTransform(min_size=4)
+        dec = tr.decompose(data)
+        assert dec.num_levels == 0
+        np.testing.assert_allclose(tr.recompose(dec), data)
+
+    @given(st.integers(4, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_1d(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=n)
+        for basis in (HIERARCHICAL, ORTHOGONAL):
+            tr = MultilevelTransform(basis=basis)
+            rec = tr.recompose(tr.decompose(data))
+            np.testing.assert_allclose(rec, data, atol=1e-9)
+
+
+class TestDecompositionStructure:
+    def test_level_count_respects_max(self):
+        tr = MultilevelTransform(max_levels=2)
+        dec = tr.decompose(_field_1d(100))
+        assert dec.num_levels == 2
+
+    def test_coefficient_counts(self):
+        tr = MultilevelTransform()
+        dec = tr.decompose(np.zeros((9, 9)))
+        # level 0: 81 - 25 coarse corner nodes
+        assert dec.coefficients[0].size == 81 - 25
+
+    def test_smooth_data_small_coefficients(self):
+        # coefficients of smooth data should be much smaller than the data
+        x = np.linspace(0, 1, 129) ** 2
+        tr = MultilevelTransform()
+        dec = tr.decompose(x)
+        assert np.max(np.abs(dec.coefficients[0])) < 1e-3
+
+    def test_bad_basis(self):
+        with pytest.raises(ValueError):
+            MultilevelTransform(basis="wavelet")
+
+    def test_bad_min_size(self):
+        with pytest.raises(ValueError):
+            MultilevelTransform(min_size=1)
+
+    def test_coefficient_count_mismatch_raises(self):
+        tr = MultilevelTransform()
+        dec = tr.decompose(_field_1d(33))
+        bad = [c[:-1] for c in dec.coefficients]
+        with pytest.raises(ValueError, match="mismatch"):
+            tr.recompose(dec, coefficients=bad)
+
+
+class TestErrorPropagation:
+    """The kappa constants must make perturbation bounds hold."""
+
+    @pytest.mark.parametrize("basis", [HIERARCHICAL, ORTHOGONAL])
+    @pytest.mark.parametrize("shape", [(65,), (33, 33), (17, 16, 15)])
+    def test_coefficient_perturbation_bound(self, basis, shape):
+        rng = np.random.default_rng(42)
+        data = rng.normal(size=shape)
+        tr = MultilevelTransform(basis=basis)
+        dec = tr.decompose(data)
+        eps = 1e-3
+        perturbed = [
+            c + rng.uniform(-eps, eps, size=c.size) for c in dec.coefficients
+        ]
+        rec = tr.recompose(dec, coefficients=perturbed)
+        exact = tr.recompose(dec)
+        kappa = tr.kappa(len(shape))
+        bound = kappa * eps * dec.num_levels
+        assert np.max(np.abs(rec - exact)) <= bound * (1 + 1e-9)
+
+    def test_kappa_ordering(self):
+        hb = MultilevelTransform(basis=HIERARCHICAL)
+        ob = MultilevelTransform(basis=ORTHOGONAL)
+        for d in (1, 2, 3):
+            assert ob.kappa(d) > hb.kappa(d)
+
+    def test_hb_kappa_1d_is_one(self):
+        assert MultilevelTransform(basis=HIERARCHICAL).kappa(1) == 1.0
+
+
+class TestL2Correction:
+    def test_norm_bound(self):
+        rng = np.random.default_rng(5)
+        d = rng.uniform(-1, 1, size=50)
+        w = l2_correction_along_axis(d, 0, 51)
+        assert np.max(np.abs(w)) <= 1.5 + 1e-12
+
+    def test_zero_details_zero_correction(self):
+        w = l2_correction_along_axis(np.zeros(10), 0, 11)
+        np.testing.assert_array_equal(w, 0.0)
+
+    def test_even_length_axis(self):
+        d = np.ones(4)
+        w = l2_correction_along_axis(d, 0, 4)
+        assert w.shape == (4,)
+        assert np.all(np.isfinite(w))
+
+    def test_projection_improves_l2_fit(self):
+        # the updated coarse values should approximate the fine data better
+        # in L2 than the plain subsample, on data with curvature
+        x = np.linspace(0, np.pi, 65)
+        data = np.sin(x) + 0.3 * np.sin(8 * x)
+        tr_h = MultilevelTransform(basis=HIERARCHICAL, max_levels=1)
+        tr_o = MultilevelTransform(basis=ORTHOGONAL, max_levels=1)
+        dec_h = tr_h.decompose(data)
+        dec_o = tr_o.decompose(data)
+
+        def upsampled_l2(dec, tr):
+            zero = [np.zeros_like(c) for c in dec.coefficients]
+            rec = tr.recompose(dec, coefficients=zero)
+            return float(np.linalg.norm(rec - data))
+
+        assert upsampled_l2(dec_o, tr_o) < upsampled_l2(dec_h, tr_h)

@@ -1,0 +1,83 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    pack_uint_field,
+    pack_varlen_codes,
+    unpack_bits,
+    unpack_uint_field,
+)
+
+
+class TestVarlenCodes:
+    def test_single_code(self):
+        payload, nbits = pack_varlen_codes(np.array([0b101], dtype=np.uint64), np.array([3]))
+        assert nbits == 3
+        bits = unpack_bits(payload, nbits)
+        np.testing.assert_array_equal(bits, [1, 0, 1])
+
+    def test_mixed_lengths(self):
+        codes = np.array([0b1, 0b01, 0b111], dtype=np.uint64)
+        lengths = np.array([1, 2, 3])
+        payload, nbits = pack_varlen_codes(codes, lengths)
+        assert nbits == 6
+        bits = unpack_bits(payload, nbits)
+        np.testing.assert_array_equal(bits, [1, 0, 1, 1, 1, 1])
+
+    def test_empty(self):
+        payload, nbits = pack_varlen_codes(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert payload == b"" and nbits == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_varlen_codes(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.int64))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_varlen_codes(np.array([1], dtype=np.uint64), np.array([0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=20), st.integers(min_value=0)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, items):
+        lengths = np.array([L for L, _ in items], dtype=np.int64)
+        codes = np.array([v % (1 << L) for L, v in items], dtype=np.uint64)
+        payload, nbits = pack_varlen_codes(codes, lengths)
+        bits = unpack_bits(payload, nbits)
+        pos = 0
+        for code, L in zip(codes, lengths):
+            chunk = bits[pos : pos + L]
+            value = int("".join(map(str, chunk)), 2)
+            assert value == int(code)
+            pos += L
+        assert pos == nbits
+
+
+class TestUintField:
+    @pytest.mark.parametrize("width", [1, 5, 8, 13, 32, 64])
+    def test_roundtrip(self, width):
+        rng = np.random.default_rng(width)
+        hi = (1 << width) - 1
+        values = rng.integers(0, hi, size=97, endpoint=True, dtype=np.uint64)
+        payload = pack_uint_field(values, width)
+        out = unpack_uint_field(payload, width, values.size)
+        np.testing.assert_array_equal(out, values)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            pack_uint_field(np.zeros(1, dtype=np.uint64), 0)
+        with pytest.raises(ValueError):
+            pack_uint_field(np.zeros(1, dtype=np.uint64), 65)
+
+    def test_truncated_payload(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", 100)

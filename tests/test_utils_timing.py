@@ -1,0 +1,46 @@
+"""Tests for the stopwatch/timing helpers."""
+
+import time
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_sections_accumulate(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            time.sleep(0.01)
+        with sw.section("a"):
+            time.sleep(0.01)
+        with sw.section("b"):
+            pass
+        assert sw.get("a") >= 0.02
+        assert sw.get("b") >= 0.0
+        assert sw.total() >= sw.get("a")
+
+    def test_unknown_section_zero(self):
+        assert Stopwatch().get("nope") == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            pass
+        sw.reset()
+        assert sw.total() == 0.0
+
+    def test_section_records_on_exception(self):
+        sw = Stopwatch()
+        try:
+            with sw.section("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert sw.get("x") >= 0.0
+        assert "x" in sw.sections
+
+
+class TestTimed:
+    def test_elapsed_positive(self):
+        with timed() as t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.005

@@ -1,0 +1,83 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_float_array,
+    check_error_bound,
+    check_positive,
+    check_shape_match,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestAsFloatArray:
+    def test_converts_ints(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_preserves_float64_without_copy(self):
+        a = np.arange(4.0)
+        out = as_float_array(a)
+        assert out.base is a or out is a
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_array(np.zeros(0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_array([np.inf])
+
+    def test_makes_contiguous(self):
+        a = np.arange(16.0).reshape(4, 4)[:, ::2]
+        out = as_float_array(a)
+        assert out.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(out, a)
+
+    def test_float32_upcast(self):
+        out = as_float_array(np.ones(3, dtype=np.float32))
+        assert out.dtype == np.float64
+
+
+class TestCheckErrorBound:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.inf, np.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_error_bound(bad)
+
+    def test_accepts_positive(self):
+        assert check_error_bound(1e-6) == 1e-6
+
+
+class TestCheckPositive:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_accepts(self):
+        assert check_positive(2.5) == 2.5
+
+
+class TestShapeMatch:
+    def test_match(self):
+        check_shape_match(np.zeros((2, 3)), np.ones((2, 3)))
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            check_shape_match(np.zeros(2), np.zeros(3))
