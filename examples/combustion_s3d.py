@@ -1,9 +1,15 @@
 """S3D combustion: preserving reaction-rate intermediates during retrieval.
 
-The paper's S3D case (Table III, Fig. 6): 8 species molar concentrations
-where downstream chemistry needs products like [O2][H] for the reaction
-H + O2 <-> O + OH.  Multiplicative QoIs compose Theorem 5 through
-Theorem 9, and the retrieved size depends strongly on the tolerance.
+Corresponds to: Table III and Fig. 6 — the S3D case: 8 species molar
+concentrations where downstream chemistry needs products like [O2][H]
+for the reaction H + O2 <-> O + OH.  Multiplicative QoIs compose
+Theorem 5 through Theorem 9, and the retrieved size depends strongly on
+the tolerance.
+
+Expected output: one table per molar product sweeping the tolerance
+(1e-2 … 1e-5), each row showing bitrate growing as the tolerance
+tightens while estimated error stays above actual error and below the
+request — closing with a line confirming every guarantee held.
 
 Run:  python examples/combustion_s3d.py
 """

@@ -1,9 +1,15 @@
 """Defining your own derivable QoI and retrieving it with guarantees.
 
-The paper's theory covers *any* quantity composable from the basis of
-Table II.  This example builds two QoIs that are not in the paper —
-dynamic pressure q = 1/2 rho V^2 and a normalized stagnation ratio —
-straight from operator syntax, and retrieves them with guaranteed bounds.
+Corresponds to: Table II (the derivable-QoI basis) and Theorems 1–9.
+The paper's theory covers *any* quantity composable from that basis; this
+example builds two QoIs that are not in the paper — dynamic pressure
+q = 1/2 rho V^2 and a normalized stagnation ratio — straight from
+operator syntax, and retrieves them with guaranteed bounds.
+
+Expected output: each QoI's variable dependencies, then one line per QoI
+showing requested tolerance >= guaranteed bound >= actual error, and a
+final line with the retrieved size (~0.24 MB) and round count — both
+guarantees hold.
 
 Run:  python examples/custom_qoi.py
 """

@@ -1,8 +1,15 @@
 """GE CFD posthoc-analysis pipeline: six QoIs, zero-mask, method shootout.
 
-Mirrors the paper's flagship scenario (§III-A, §VI-B): a turbomachinery
-CFD state with wall nodes, the six derivable QoIs of Eq. (1)-(6), and the
-three progressive approaches compared on retrieved size.
+Corresponds to: §III-A / §VI-B and Figs. 4, 7 — a turbomachinery CFD
+state with wall nodes (the §V-A zero-value mask), the six derivable QoIs
+of Eq. (1)-(6), and the three progressive approaches compared on
+retrieved size.
+
+Expected output: the masked wall-node count and bitmap cost, then a
+method-per-row table (pmgard_hb / psz3_delta / psz3) showing all six QoI
+guarantees met, round counts, retrieved MB, bitrate, and the worst
+relative estimated error — with pmgard_hb retrieving the least, matching
+the paper's ordering.
 
 Run:  python examples/ge_cfd_pipeline.py
 """

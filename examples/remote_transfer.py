@@ -1,8 +1,13 @@
 """Remote retrieval: how QoI-bounded progressive transfer beats raw copy.
 
-The paper's Fig. 9 scenario: GE-large is archived at one site; 96 workers
+Corresponds to: Fig. 9 — GE-large is archived at one site; 96 workers
 at a remote site each retrieve one block through a Globus-like WAN and
 need total velocity with a guaranteed error.
+
+Expected output: the simulated raw-transfer baseline (~11.9 s, the
+dashed line of Fig. 9), then a table sweeping the QoI tolerance
+(1e-1 … 1e-5) with the retrieved fraction rising from ~26% to ~49% and
+the projected speedup over raw copy falling from ~2.6x to ~1.7x.
 
 Two things are *measured* here: the per-block retrieved-size fraction and
 the local retrieval compute time, both on scaled-down synthetic blocks.

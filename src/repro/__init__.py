@@ -24,7 +24,18 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
-from repro import analysis, compressors, core, data, encoding, storage, transforms, utils
+from repro import (
+    analysis,
+    compressors,
+    core,
+    data,
+    encoding,
+    parallel,
+    service,
+    storage,
+    transforms,
+    utils,
+)
 from repro.compressors import (
     PMGARDRefactorer,
     PSZ3DeltaRefactorer,
@@ -59,15 +70,21 @@ from repro.core import (
     viscosity,
 )
 from repro.data import TABLE3, load_dataset
-from repro.storage import Archive, GlobusTransferModel
+from repro.service import ClientSession, RetrievalServer, RetrievalService, ServiceClient
+from repro.storage import (
+    Archive,
+    FragmentCache,
+    GlobusTransferModel,
+    ShardedDiskStore,
+)
 from repro.compressors import PZFPRefactorer
 
 __version__ = "1.0.0"
 
 __all__ = [
     # subpackages
-    "analysis", "compressors", "core", "data", "encoding", "storage",
-    "transforms", "utils",
+    "analysis", "compressors", "core", "data", "encoding", "parallel",
+    "service", "storage", "transforms", "utils",
     # compressors
     "make_refactorer", "SZ3Compressor", "PSZ3Refactorer",
     "PSZ3DeltaRefactorer", "PMGARDRefactorer",
@@ -81,4 +98,7 @@ __all__ = [
     "assign_eb", "reassign_eb", "ZeroMask",
     # datasets & transfer
     "TABLE3", "load_dataset", "GlobusTransferModel", "Archive", "PZFPRefactorer",
+    # multi-client retrieval service
+    "RetrievalService", "ClientSession", "RetrievalServer", "ServiceClient",
+    "FragmentCache", "ShardedDiskStore",
 ]

@@ -1,18 +1,24 @@
-"""Command-line interface: archive, inspect, and retrieve datasets.
+"""Command-line interface: archive, inspect, retrieve, and serve datasets.
 
-Wires the whole pipeline into three subcommands::
+Wires the whole pipeline into five subcommands::
 
     python -m repro.cli archive  --out ar/ --method pmgard_hb p=pressure.npy d=density.npy
     python -m repro.cli info     --archive ar/
     python -m repro.cli retrieve --archive ar/ --qoi product --fields p,d \\
         --tolerance 1e-4 --out rec/
+    python -m repro.cli serve    --archive ar/ --port 7117
+    python -m repro.cli client   --port 7117 --qoi product --fields p,d \\
+        --tolerance 1e-4 --out rec/
 
 ``archive`` refactors each ``name=path.npy`` variable into a
-fragment-addressable on-disk archive (one file per fragment) and records
-the dataset manifest (shapes, value ranges) that Algorithm 2 needs.
-``retrieve`` runs the QoI-preserved retrieval loop against the archive
-and writes the reconstructed variables plus a JSON report of the
-guaranteed errors.
+fragment-addressable on-disk archive (one file per fragment; pass
+``--sharded`` for the hashed fan-out layout) and records the dataset
+manifest (shapes, value ranges) that Algorithm 2 needs.  ``retrieve``
+runs the QoI-preserved retrieval loop against the archive and writes the
+reconstructed variables plus a JSON report of the guaranteed errors.
+``serve`` exposes the archive to many concurrent clients over TCP behind
+a shared fragment cache; ``client`` runs one retrieval against a running
+server.
 
 QoI specs: ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
 (pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
@@ -28,43 +34,17 @@ import sys
 import numpy as np
 
 from repro.compressors.base import make_refactorer
-from repro.core.expressions import Var
-from repro.core.qois import mach_number, molar_product, temperature, total_velocity
+from repro.core.qois import qoi_from_spec
 from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+from repro.service.server import RetrievalServer, ServiceClient
+from repro.service.service import RetrievalService
 from repro.storage.archive import Archive
+from repro.storage.cache import DEFAULT_CACHE_BYTES
 from repro.storage.metadata import DatasetManifest, VariableMetadata
-from repro.storage.store import DiskFragmentStore
+from repro.storage.store import DiskFragmentStore, ShardedDiskStore, open_store
 
-_MANIFEST_VAR = "_dataset"
-_MANIFEST_SEG = "manifest.json"
-
-
-def build_qoi(spec: str, fields: list):
-    """Construct a QoI tree from a CLI spec and its field names."""
-    spec = spec.lower()
-    if spec == "identity":
-        if len(fields) != 1:
-            raise ValueError("identity expects exactly 1 field")
-        return Var(fields[0])
-    if spec == "vtot":
-        if len(fields) != 3:
-            raise ValueError("vtot expects exactly 3 fields (vx,vy,vz)")
-        return total_velocity(*fields)
-    if spec == "temperature":
-        if len(fields) != 2:
-            raise ValueError("temperature expects 2 fields (pressure,density)")
-        return temperature(*fields)
-    if spec == "mach":
-        if len(fields) != 5:
-            raise ValueError("mach expects 5 fields (vx,vy,vz,pressure,density)")
-        return mach_number(*fields)
-    if spec == "product":
-        if len(fields) < 2:
-            raise ValueError("product expects at least 2 fields")
-        return molar_product(*fields)
-    raise ValueError(
-        f"unknown QoI spec {spec!r}; options: identity, vtot, temperature, mach, product"
-    )
+#: Kept as the public CLI name for the shared spec parser.
+build_qoi = qoi_from_spec
 
 
 def _cmd_archive(args) -> int:
@@ -76,7 +56,8 @@ def _cmd_archive(args) -> int:
         variables[name] = np.load(path)
     refactorer = make_refactorer(args.method)
     refactored = refactor_dataset(variables, refactorer)
-    store = DiskFragmentStore(args.out)
+    store_cls = ShardedDiskStore if getattr(args, "sharded", False) else DiskFragmentStore
+    store = store_cls(args.out)
     archive = Archive(store)
     manifest = DatasetManifest(dataset=os.path.basename(args.out.rstrip("/")) or "dataset")
     for name, data in variables.items():
@@ -87,7 +68,7 @@ def _cmd_archive(args) -> int:
                 segments=store.segments(name),
             )
         )
-    store.put(_MANIFEST_VAR, _MANIFEST_SEG, manifest.to_json().encode())
+    manifest.save_to(store)
     total = sum(m.total_bytes for m in manifest.variables.values())
     raw = sum(v.nbytes for v in variables.values())
     print(f"archived {len(variables)} variable(s) with {args.method}: "
@@ -96,16 +77,8 @@ def _cmd_archive(args) -> int:
 
 
 def _load_manifest(archive_dir: str) -> tuple:
-    store = DiskFragmentStore(archive_dir)
-    # re-index existing files on disk
-    for fname in sorted(os.listdir(archive_dir)):
-        if not fname.endswith(".bin"):
-            continue
-        var, seg = fname[:-4].split("__", 1)
-        store._data[(var, seg)] = None
-    manifest = DatasetManifest.from_json(
-        store.get(_MANIFEST_VAR, _MANIFEST_SEG).decode()
-    )
+    store = open_store(archive_dir)  # stores reindex themselves on reopen
+    manifest = DatasetManifest.load_from(store)
     return store, manifest
 
 
@@ -154,6 +127,64 @@ def _cmd_retrieve(args) -> int:
     return 0 if result.all_satisfied else 2
 
 
+def _cmd_serve(args) -> int:
+    service = RetrievalService.open(
+        args.archive, cache_bytes=int(args.cache_mb) << 20
+    )
+    server = RetrievalServer(service, args.host, args.port)
+    host, port = server.address
+    print(f"serving {args.archive} on {host}:{port} "
+          f"(cache budget {args.cache_mb} MiB); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.service.server import ServiceError
+
+    fields = [f.strip() for f in args.fields.split(",") if f.strip()]
+    try:
+        client_ctx = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {exc}"
+        )
+    with client_ctx as client:
+        try:
+            response = client.retrieve(
+                args.qoi, fields, args.tolerance, args.qoi_range,
+                include_data=args.out is not None,
+            )
+        except ServiceError as exc:
+            raise SystemExit(f"server rejected the request: {exc}")
+        if args.out is not None:
+            os.makedirs(args.out, exist_ok=True)
+            for name, data in response.pop("data", {}).items():
+                np.save(os.path.join(args.out, f"{name}.npy"), data)
+            report = {
+                "qoi": args.qoi,
+                "fields": fields,
+                "tolerance": args.tolerance,
+                "qoi_range": args.qoi_range,
+                "satisfied": response["satisfied"],
+                "estimated_error": response["estimated_error"],
+                "rounds": response["rounds"],
+                "bytes_retrieved": response["bytes_retrieved"],
+            }
+            with open(os.path.join(args.out, "report.json"), "w") as fh:
+                json.dump(report, fh, indent=2)
+    status = "satisfied" if response["satisfied"] else "NOT satisfied (representation exhausted)"
+    dest = f" -> {args.out}" if args.out is not None else ""
+    print(f"retrieved {response['bytes_retrieved']} B in {response['rounds']} round(s); "
+          f"guaranteed QoI error {response['estimated_error']:.3e} ({status}){dest}")
+    return 0 if response["satisfied"] else 2
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="QoI-preserving progressive retrieval"
@@ -167,6 +198,10 @@ def make_parser() -> argparse.ArgumentParser:
         choices=["psz3", "psz3_delta", "pmgard", "pmgard_hb", "pzfp"],
     )
     p_archive.add_argument("variables", nargs="+", metavar="name=path.npy")
+    p_archive.add_argument(
+        "--sharded", action="store_true",
+        help="hashed fan-out directory layout with a persisted index",
+    )
     p_archive.set_defaults(func=_cmd_archive)
 
     p_info = sub.add_parser("info", help="list archived variables")
@@ -184,6 +219,34 @@ def make_parser() -> argparse.ArgumentParser:
                        help="QoI value range; 1.0 means --tolerance is absolute")
     p_ret.add_argument("--out", required=True, help="output directory")
     p_ret.set_defaults(func=_cmd_retrieve)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve an archive to concurrent clients over TCP"
+    )
+    p_serve.add_argument("--archive", required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7117,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--cache-mb", type=int,
+                         default=DEFAULT_CACHE_BYTES >> 20,
+                         help="shared fragment-cache budget in MiB")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="QoI-preserved retrieval against a running server"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7117)
+    p_client.add_argument("--qoi", required=True,
+                          help="identity | vtot | temperature | mach | product")
+    p_client.add_argument("--fields", required=True, help="comma-separated field names")
+    p_client.add_argument("--tolerance", type=float, required=True,
+                          help="relative QoI tolerance (see --qoi-range)")
+    p_client.add_argument("--qoi-range", type=float, default=1.0,
+                          help="QoI value range; 1.0 means --tolerance is absolute")
+    p_client.add_argument("--out", default=None,
+                          help="save reconstructed fields + report here")
+    p_client.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -38,6 +38,7 @@ from repro.core.qois import (
     GE_QOIS,
     mach_number,
     molar_product,
+    qoi_from_spec,
     speed_of_sound,
     temperature,
     total_pressure,
@@ -85,6 +86,7 @@ __all__ = [
     "total_pressure",
     "viscosity",
     "molar_product",
+    "qoi_from_spec",
     "assign_eb",
     "reassign_eb",
     "ZeroMask",

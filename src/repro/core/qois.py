@@ -107,6 +107,39 @@ def molar_product(*species: str) -> QoI:
     return product(*(Var(name) for name in species))
 
 
+def qoi_from_spec(spec: str, fields: list) -> QoI:
+    """Construct a QoI tree from a textual spec and its field names.
+
+    The vocabulary shared by the CLI and the network retrieval service:
+    ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
+    (pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
+    """
+    spec = spec.lower()
+    if spec == "identity":
+        if len(fields) != 1:
+            raise ValueError("identity expects exactly 1 field")
+        return Var(fields[0])
+    if spec == "vtot":
+        if len(fields) != 3:
+            raise ValueError("vtot expects exactly 3 fields (vx,vy,vz)")
+        return total_velocity(*fields)
+    if spec == "temperature":
+        if len(fields) != 2:
+            raise ValueError("temperature expects 2 fields (pressure,density)")
+        return temperature(*fields)
+    if spec == "mach":
+        if len(fields) != 5:
+            raise ValueError("mach expects 5 fields (vx,vy,vz,pressure,density)")
+        return mach_number(*fields)
+    if spec == "product":
+        if len(fields) < 2:
+            raise ValueError("product expects at least 2 fields")
+        return molar_product(*fields)
+    raise ValueError(
+        f"unknown QoI spec {spec!r}; options: identity, vtot, temperature, mach, product"
+    )
+
+
 #: The six GE QoIs keyed as the paper labels them (Figs. 4, 7).
 GE_QOIS: dict = {
     "VTOT": total_velocity(),

@@ -150,6 +150,22 @@ class QoIRetriever:
         self._masks = dict(masks or {})
         self.reduction_factor = float(reduction_factor)
 
+    def add_variable(
+        self, name: str, refactored, value_range: float, mask=None
+    ) -> None:
+        """Register another archived variable after construction.
+
+        The service layer resolves variables lazily — a client session may
+        reference variables its first request never touched — so the
+        retriever must be extensible.  Sessions opened earlier see the new
+        variable on their next ``retrieve``.
+        """
+        check_positive(value_range, name=f"range of {name}")
+        self._refactored[name] = refactored
+        self._ranges[name] = float(value_range)
+        if mask is not None:
+            self._masks[name] = mask
+
     def session(self) -> "RetrievalSession":
         """Open a stateful session: successive retrievals reuse fragments.
 

@@ -4,19 +4,28 @@ The paper's remote-transfer experiment processes GE-large as 96
 independent blocks, one per worker.  :mod:`repro.parallel.blocks`
 provides the blocked dataset container plus block-parallel refactor and
 QoI-preserved retrieval drivers (thread-pooled: NumPy releases the GIL
-in its kernels, and zlib does too).
+in its kernels, and zlib does too).  The ``*_service`` variants archive
+blocks under block-qualified names and retrieve them through a shared
+:class:`~repro.service.service.RetrievalService`, so concurrent or
+repeated block retrievals share one fragment cache.
 """
 
 from repro.parallel.blocks import (
     BlockedDataset,
+    block_variable,
+    blockwise_archive,
     blockwise_refactor,
     blockwise_retrieve,
+    blockwise_retrieve_service,
     split_fields,
 )
 
 __all__ = [
     "BlockedDataset",
+    "block_variable",
+    "blockwise_archive",
     "blockwise_refactor",
     "blockwise_retrieve",
+    "blockwise_retrieve_service",
     "split_fields",
 ]

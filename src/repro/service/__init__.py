@@ -1,0 +1,29 @@
+"""Multi-client retrieval service (the data-service tier above Fig. 1).
+
+* :mod:`repro.service.service` — :class:`RetrievalService` multiplexing
+  concurrent :class:`ClientSession`\\ s over one archive behind a shared
+  :class:`~repro.storage.cache.FragmentCache`.
+* :mod:`repro.service.server` — the JSON-lines-over-TCP front end
+  (``repro serve`` / ``repro client`` in the CLI) plus a blocking
+  :class:`ServiceClient`.
+"""
+
+from repro.service.service import ClientSession, RetrievalService, ServiceStats
+from repro.service.server import (
+    RetrievalServer,
+    ServiceClient,
+    ServiceError,
+    decode_array,
+    encode_array,
+)
+
+__all__ = [
+    "RetrievalService",
+    "ClientSession",
+    "ServiceStats",
+    "RetrievalServer",
+    "ServiceClient",
+    "ServiceError",
+    "encode_array",
+    "decode_array",
+]

@@ -1,0 +1,227 @@
+"""Network front end of the retrieval service (JSON-lines over TCP).
+
+One :class:`RetrievalServer` wraps one
+:class:`~repro.service.service.RetrievalService`; each TCP connection
+gets its own :class:`~repro.service.service.ClientSession`, handled on
+its own thread.  The protocol is deliberately plain — one JSON object per
+line in each direction — so any language can speak it:
+
+* ``{"op": "info"}`` → archived variables and their metadata,
+* ``{"op": "retrieve", "qoi": "vtot", "fields": [...], "tolerance": 1e-4,
+  "qoi_range": 350.0, "include_data": true}`` → the retrieval report,
+  optionally with base64-encoded ``.npy`` payloads per variable,
+* ``{"op": "stats"}`` → service/cache accounting.
+
+Because the session persists for the life of the connection, a client
+that retrieves loosely and then tightens pays only for the incremental
+fragments — the paper's progressive economy, now over a socket — and
+fragments any client pulls through the shared cache are free for all
+other connections.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import socket
+import socketserver
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.qois import qoi_from_spec
+from repro.core.retrieval import QoIRequest
+from repro.service.service import RetrievalService
+
+
+def _json_safe(obj):
+    """Replace non-finite floats with their string forms ("inf", "nan").
+
+    ``json.dumps`` would otherwise emit bare ``Infinity``/``NaN`` tokens,
+    which are invalid JSON for strict (non-Python) parsers; the strings
+    round-trip through ``float()`` on the client side.
+    """
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return repr(obj)
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    return obj
+
+
+def encode_array(data: np.ndarray) -> str:
+    """Serialize an array as base64 ``.npy`` bytes (self-describing)."""
+    buf = io.BytesIO()
+    np.save(buf, np.asarray(data), allow_pickle=False)
+    return base64.b64encode(buf.getvalue()).decode("ascii")
+
+
+def decode_array(payload: str) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    return np.load(io.BytesIO(base64.b64decode(payload)), allow_pickle=False)
+
+
+class ServiceError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+
+class _ClientHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        session = self.server.service.open_session()
+        try:
+            for line in self.rfile:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    response = self._dispatch(request, session)
+                except Exception as exc:  # malformed request must not kill the server
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                self.wfile.write(
+                    json.dumps(_json_safe(response), allow_nan=False).encode() + b"\n"
+                )
+                self.wfile.flush()
+        finally:
+            session.close()
+
+    def _dispatch(self, request: dict, session) -> dict:
+        op = request.get("op")
+        service = self.server.service
+        if op == "info":
+            manifest = service.manifest
+            variables = {}
+            for name in service.variables():
+                if manifest is not None and name in manifest.variables:
+                    meta = manifest.variables[name]
+                    variables[name] = {
+                        "shape": list(meta.shape),
+                        "dtype": meta.dtype,
+                        "compressor": meta.compressor,
+                        "total_bytes": meta.total_bytes,
+                        "value_range": meta.value_range,
+                    }
+                else:
+                    variables[name] = {}
+            return {"ok": True, "variables": variables}
+        if op == "stats":
+            stats = service.stats()
+            payload = asdict(stats)
+            payload["cache"]["hit_rate"] = stats.cache.hit_rate
+            return {"ok": True, "stats": payload}
+        if op == "retrieve":
+            fields = list(request["fields"])
+            qoi = qoi_from_spec(request["qoi"], fields)
+            result = session.retrieve(
+                [
+                    QoIRequest(
+                        request["qoi"],
+                        qoi,
+                        float(request["tolerance"]),
+                        float(request.get("qoi_range", 1.0)),
+                    )
+                ],
+                max_rounds=int(request.get("max_rounds", 100)),
+            )
+            response = {
+                "ok": True,
+                "satisfied": result.all_satisfied,
+                "estimated_error": float(result.estimated_errors[request["qoi"]]),
+                "rounds": result.rounds,
+                "bytes_retrieved": result.total_bytes,
+                "session_bytes": session.bytes_retrieved(),
+            }
+            if request.get("include_data"):
+                response["data"] = {
+                    name: encode_array(data) for name, data in result.data.items()
+                }
+            return response
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class RetrievalServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server: one connection = one client session.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); the bound address
+    is available as :attr:`address`.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: RetrievalService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _ClientHandler)
+        self.service = service
+
+    @property
+    def address(self) -> tuple:
+        return self.server_address[:2]
+
+
+class ServiceClient:
+    """Blocking client for :class:`RetrievalServer` (one session per client)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def _call(self, payload: dict) -> dict:
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    def info(self) -> dict:
+        """Archived variables and their metadata."""
+        return self._call({"op": "info"})["variables"]
+
+    def stats(self) -> dict:
+        """Service/cache accounting as plain dicts."""
+        return self._call({"op": "stats"})["stats"]
+
+    def retrieve(
+        self,
+        qoi: str,
+        fields,
+        tolerance: float,
+        qoi_range: float = 1.0,
+        include_data: bool = False,
+        max_rounds: int = 100,
+    ) -> dict:
+        """QoI-preserved retrieval; arrays are decoded when requested."""
+        response = self._call(
+            {
+                "op": "retrieve",
+                "qoi": qoi,
+                "fields": list(fields),
+                "tolerance": tolerance,
+                "qoi_range": qoi_range,
+                "include_data": include_data,
+                "max_rounds": max_rounds,
+            }
+        )
+        if "data" in response:
+            response["data"] = {
+                name: decode_array(payload) for name, payload in response["data"].items()
+            }
+        # non-finite errors travel as strings (see _json_safe)
+        response["estimated_error"] = float(response["estimated_error"])
+        return response
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,219 @@
+"""Multi-client retrieval service over one fragment archive.
+
+The seed model of the repo is one analyst driving one
+:class:`~repro.core.retrieval.RetrievalSession`.  A data service has a
+different shape: one archive, many concurrent clients, and heavily
+overlapping fragment demand (every client's Algorithm 2 loop starts from
+the same coarse levels).  :class:`RetrievalService` multiplexes client
+sessions over a single archive behind a shared
+:class:`~repro.storage.cache.FragmentCache`, so a fragment read from the
+store for one client is served from memory to every other.
+
+Layering::
+
+    ClientSession  (one per client; per-client reader state)
+        └── RetrievalService  (shared; value ranges, masks, accounting)
+              └── Archive over CachingFragmentStore
+                    ├── FragmentCache   (shared LRU, byte budget)
+                    └── FragmentStore   (disk / sharded / in-memory)
+
+Each :class:`ClientSession` keeps the full incremental economics of
+:class:`~repro.core.retrieval.RetrievalSession` — successive, tighter
+requests from the same client only move incremental fragments — while the
+cache collapses the *cross-client* redundancy that sessions alone cannot
+see.  ``ClientSession.retrieve`` is self-contained per client; the only
+state shared between threads is the lock-protected cache and the service
+counters, so sessions may run on concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.assigner import DEFAULT_REDUCTION_FACTOR
+from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
+from repro.storage.archive import Archive
+from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
+from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
+from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate accounting of one :class:`RetrievalService`."""
+
+    sessions_opened: int
+    sessions_active: int
+    variables_loaded: int
+    store_reads: int
+    store_bytes_read: int
+    cache: CacheStats
+
+
+class RetrievalService:
+    """Serve QoI-preserved retrieval to many clients from one archive.
+
+    Parameters
+    ----------
+    store:
+        The backing fragment store (any :class:`FragmentStore`).  If it
+        holds a dataset manifest at the reserved key, value ranges are
+        loaded from it automatically.
+    value_ranges:
+        Extra/override ``{variable: max - min}`` entries (Algorithm 3's
+        input) for archives without a manifest.
+    masks:
+        Optional ``{variable: ZeroMask}`` applied in every client session
+        (§V-A).
+    cache / cache_bytes:
+        Share an existing :class:`FragmentCache` across services, or size
+        a private one.
+    """
+
+    def __init__(
+        self,
+        store: FragmentStore,
+        value_ranges: dict | None = None,
+        masks: dict | None = None,
+        cache: FragmentCache | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        reduction_factor: float = DEFAULT_REDUCTION_FACTOR,
+    ):
+        self._inner = store
+        self.cache = cache if cache is not None else FragmentCache(cache_bytes)
+        self.store = CachingFragmentStore(store, self.cache)
+        self.archive = Archive(self.store)
+        self.reduction_factor = float(reduction_factor)
+        self._masks = dict(masks or {})
+        self.manifest: DatasetManifest | None = None
+        self._ranges: dict = {}
+        if store.has(MANIFEST_VARIABLE, MANIFEST_SEGMENT):
+            self.manifest = DatasetManifest.load_from(self.store)
+            self._ranges.update(self.manifest.value_ranges())
+        if value_ranges:
+            self._ranges.update({k: float(v) for k, v in value_ranges.items()})
+        self._lock = threading.Lock()
+        self._sessions_opened = 0
+        self._sessions_active = 0
+        self._variables_loaded = 0
+
+    @classmethod
+    def open(
+        cls, archive_dir: str, sharded: bool | None = None, **kwargs
+    ) -> "RetrievalService":
+        """Open a service over an on-disk archive directory.
+
+        ``sharded=None`` auto-detects the layout from the persisted index
+        a :class:`ShardedDiskStore` leaves behind.
+        """
+        if sharded is None:
+            store = open_store(archive_dir)
+        elif sharded:
+            store = ShardedDiskStore(archive_dir)
+        else:
+            store = DiskFragmentStore(archive_dir)
+        return cls(store, **kwargs)
+
+    def variables(self) -> list:
+        """Names of the variables this service can retrieve."""
+        if self.manifest is not None:
+            return sorted(self.manifest.variables)
+        return self.archive.variables()
+
+    def value_range(self, variable: str) -> float:
+        if variable not in self._ranges:
+            raise KeyError(
+                f"no value range for variable {variable!r}; known: "
+                f"{sorted(self._ranges)} (archive a manifest or pass value_ranges)"
+            )
+        return self._ranges[variable]
+
+    def load_refactored(self, variable: str):
+        """Load one archived variable through the shared cache."""
+        with self._lock:
+            self._variables_loaded += 1
+        return self.archive.load(variable)
+
+    def open_session(self, client_id: str | None = None) -> "ClientSession":
+        """Open an independent client session (safe to use on its own thread)."""
+        with self._lock:
+            self._sessions_opened += 1
+            self._sessions_active += 1
+            if client_id is None:
+                client_id = f"client-{self._sessions_opened}"
+        return ClientSession(self, client_id)
+
+    def _session_closed(self) -> None:
+        with self._lock:
+            self._sessions_active -= 1
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of session, store, and cache accounting."""
+        with self._lock:
+            return ServiceStats(
+                sessions_opened=self._sessions_opened,
+                sessions_active=self._sessions_active,
+                variables_loaded=self._variables_loaded,
+                store_reads=self._inner.reads,
+                store_bytes_read=self._inner.bytes_read,
+                cache=self.cache.stats(),
+            )
+
+
+class ClientSession:
+    """One client's stateful view of a :class:`RetrievalService`.
+
+    Wraps a :class:`~repro.core.retrieval.RetrievalSession`, resolving the
+    variables each request needs lazily through the service (and therefore
+    through the shared cache).  Successive ``retrieve`` calls reuse this
+    client's readers, so tightening a tolerance only moves incremental
+    fragments — the single-analyst economy — while the shared cache keeps
+    *other* clients from re-reading what this one already pulled from the
+    store.
+    """
+
+    def __init__(self, service: RetrievalService, client_id: str):
+        self.client_id = client_id
+        self._service = service
+        self._retriever = QoIRetriever(
+            {}, {}, reduction_factor=service.reduction_factor
+        )
+        self._session = RetrievalSession(self._retriever)
+        self._closed = False
+
+    def _ensure_variables(self, requests) -> None:
+        involved = set().union(*(r.qoi.variables() for r in requests))
+        for name in sorted(involved):
+            if name in self._retriever._refactored:
+                continue
+            value_range = self._service.value_range(name)
+            refactored = self._service.load_refactored(name)
+            self._retriever.add_variable(
+                name, refactored, value_range, mask=self._service._masks.get(name)
+            )
+
+    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
+        """Run the QoI-preserved retrieval loop for this client."""
+        if self._closed:
+            raise RuntimeError(f"session {self.client_id!r} is closed")
+        requests = list(requests)
+        if not requests:
+            raise ValueError("at least one QoIRequest is required")
+        self._ensure_variables(requests)
+        return self._session.retrieve(requests, max_rounds=max_rounds)
+
+    def bytes_retrieved(self, variable: str | None = None) -> int:
+        """Cumulative bytes this client's readers have consumed."""
+        return self._session.bytes_retrieved(variable)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._service._session_closed()
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

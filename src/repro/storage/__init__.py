@@ -1,23 +1,45 @@
 """Storage and data-movement substrates.
 
-* :mod:`repro.storage.store` — fragment stores (in-memory / on-disk) with
-  byte accounting, standing in for the PFS / tape tiers of Fig. 1.
+* :mod:`repro.storage.store` — fragment stores (in-memory / on-disk /
+  sharded) with byte accounting, standing in for the PFS / tape tiers of
+  Fig. 1.
+* :mod:`repro.storage.cache` — the shared, byte-budgeted LRU fragment
+  cache that lets many clients retrieve through one archive without
+  re-reading overlapping fragments from disk.
 * :mod:`repro.storage.metadata` — dataset manifests recording the
   refactoring metadata Algorithm 2 needs (shapes, value ranges).
 * :mod:`repro.storage.transfer` — the simulated Globus-like wide-area
   transfer model used to reproduce Fig. 9 (remote retrieval MCC→Anvil).
 """
 
-from repro.storage.store import FragmentStore, DiskFragmentStore
-from repro.storage.metadata import VariableMetadata, DatasetManifest
+from repro.storage.store import (
+    DiskFragmentStore,
+    FragmentStore,
+    ShardedDiskStore,
+    open_store,
+)
+from repro.storage.cache import CacheStats, CachingFragmentStore, FragmentCache
+from repro.storage.metadata import (
+    MANIFEST_SEGMENT,
+    MANIFEST_VARIABLE,
+    DatasetManifest,
+    VariableMetadata,
+)
 from repro.storage.transfer import GlobusTransferModel, TransferReport
 from repro.storage.archive import Archive
 
 __all__ = [
     "FragmentStore",
     "DiskFragmentStore",
+    "ShardedDiskStore",
+    "open_store",
+    "FragmentCache",
+    "CachingFragmentStore",
+    "CacheStats",
     "VariableMetadata",
     "DatasetManifest",
+    "MANIFEST_VARIABLE",
+    "MANIFEST_SEGMENT",
     "GlobusTransferModel",
     "TransferReport",
     "Archive",

@@ -165,7 +165,7 @@ class Archive:
     def variables(self) -> list:
         """Names of all archived variables (those with an index segment)."""
         seen = []
-        for var, seg in self.store._data:
+        for var, seg in self.store.keys():
             if seg == _INDEX_SEGMENT and var not in seen:
                 seen.append(var)
         return seen

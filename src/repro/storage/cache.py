@@ -1,0 +1,184 @@
+"""Shared fragment cache: the storage half of multi-client retrieval.
+
+Progressive retrieval only pays for *incremental* fragments — but the
+seed model pays that price per analyst.  When many clients work against
+one archive, most of their fragment reads overlap (everyone starts from
+the coarse levels), so a shared, byte-budgeted LRU cache in front of the
+store turns N clients' disk traffic into roughly one client's worth.
+:class:`FragmentCache` is that cache; :class:`CachingFragmentStore`
+adapts it to the :class:`~repro.storage.store.FragmentStore` interface so
+the archive layer (and everything above it) needs no changes.
+
+Misses are *single-flight per key*: the first client to miss a fragment
+claims it and loads outside the cache lock; concurrent clients wanting
+the same fragment wait on that load, while hits and misses on *other*
+keys proceed unblocked.  One fragment is therefore read from the store
+at most once however many clients race for it, and a slow store tier
+never serializes unrelated cache traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.storage.store import FragmentStore
+
+#: Default cache budget: 256 MiB, plenty for the laptop-scale archives the
+#: benchmarks generate while still small enough to exercise eviction.
+DEFAULT_CACHE_BYTES = 256 << 20
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`FragmentCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_from_cache: int = 0
+    bytes_from_store: int = 0
+    current_bytes: int = 0
+    capacity_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fragment requests served without touching the store."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class FragmentCache:
+    """Thread-safe LRU cache of fragment payloads with a byte budget.
+
+    Keys are ``(variable, segment)`` pairs; values are the fragment
+    payloads.  Payloads larger than the whole budget are served but never
+    cached (they would evict everything for a single entry).
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._inflight: dict = {}  # key -> Event set when its load finishes
+        self._stats = CacheStats(capacity_bytes=self.capacity_bytes)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return tuple(key) in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_load(self, variable: str, segment: str, loader) -> bytes:
+        """Return the cached payload, or load, cache, and return it.
+
+        *loader* is a zero-argument callable hitting the backing store.
+        It runs *outside* the cache lock; concurrent requests for the
+        same key wait for the one in-flight load instead of re-reading
+        the store, and requests for other keys are never blocked.
+        """
+        key = (variable, segment)
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    payload = self._entries.pop(key)
+                    self._entries[key] = payload  # move to MRU position
+                    self._stats.hits += 1
+                    self._stats.bytes_from_cache += len(payload)
+                    return payload
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = threading.Event()
+                    self._inflight[key] = flight
+                    break  # this thread owns the load
+            # another thread is loading this key; wait, then re-check (the
+            # entry may also be oversized/evicted, in which case we retry
+            # as the loader ourselves)
+            flight.wait()
+        try:
+            payload = bytes(loader())
+        except BaseException:
+            with self._lock:
+                del self._inflight[key]
+            flight.set()
+            raise
+        with self._lock:
+            self._stats.misses += 1
+            self._stats.bytes_from_store += len(payload)
+            if len(payload) <= self.capacity_bytes:
+                self._entries[key] = payload
+                self._stats.current_bytes += len(payload)
+                self._evict_to_budget()
+            del self._inflight[key]
+        flight.set()
+        return payload
+
+    def _evict_to_budget(self) -> None:
+        while self._stats.current_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._stats.current_bytes -= len(evicted)
+            self._stats.evictions += 1
+
+    def invalidate(self, variable: str, segment: str) -> None:
+        """Drop one entry (used on write-through puts)."""
+        with self._lock:
+            payload = self._entries.pop((variable, segment), None)
+            if payload is not None:
+                self._stats.current_bytes -= len(payload)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats.current_bytes = 0
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the accounting counters."""
+        with self._lock:
+            return replace(self._stats)
+
+
+class CachingFragmentStore(FragmentStore):
+    """Read-through :class:`FragmentStore` adapter over a shared cache.
+
+    ``get`` serves from *cache*, falling back to *inner* exactly once per
+    fragment; everything else (``has``/``segments``/``nbytes``/``keys``)
+    delegates to *inner*.  Several adapters may share one cache, and one
+    adapter may serve many concurrent clients — the cache is the only
+    shared mutable state and it is lock-protected.
+    """
+
+    def __init__(self, inner: FragmentStore, cache: FragmentCache):
+        super().__init__()
+        self.inner = inner
+        self.cache = cache
+
+    def put(self, variable: str, segment: str, payload: bytes) -> None:
+        self.inner.put(variable, segment, payload)
+        self.cache.invalidate(variable, segment)
+
+    def get(self, variable: str, segment: str) -> bytes:
+        payload = self.cache.get_or_load(
+            variable, segment, lambda: self.inner.get(variable, segment)
+        )
+        self._count_read(len(payload))  # client-visible traffic
+        return payload
+
+    def has(self, variable: str, segment: str) -> bool:
+        return self.inner.has(variable, segment)
+
+    def keys(self) -> list:
+        return self.inner.keys()
+
+    def segments(self, variable: str) -> list:
+        return self.inner.segments(variable)
+
+    def nbytes(self, variable: str | None = None) -> int:
+        return self.inner.nbytes(variable)

@@ -12,6 +12,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
+#: Reserved store key under which a dataset's manifest is archived, so the
+#: CLI, the retrieval service, and the block-parallel drivers all agree on
+#: where refactoring metadata lives.
+MANIFEST_VARIABLE = "_dataset"
+MANIFEST_SEGMENT = "manifest.json"
+
 
 @dataclass
 class VariableMetadata:
@@ -77,3 +83,12 @@ class DatasetManifest:
             v["shape"] = tuple(v["shape"])
             manifest.variables[name] = VariableMetadata(**v)
         return manifest
+
+    def save_to(self, store) -> None:
+        """Archive this manifest at the reserved store key."""
+        store.put(MANIFEST_VARIABLE, MANIFEST_SEGMENT, self.to_json().encode())
+
+    @classmethod
+    def load_from(cls, store) -> "DatasetManifest":
+        """Load the manifest archived in *store*; KeyError when absent."""
+        return cls.from_json(store.get(MANIFEST_VARIABLE, MANIFEST_SEGMENT).decode())

@@ -2,17 +2,55 @@
 
 Progressive fragments are opaque byte strings addressed by
 ``(variable, segment)`` keys.  The in-memory store backs unit tests and
-benchmarks; the on-disk store demonstrates the archival layout a real
+benchmarks; the on-disk stores demonstrate the archival layouts a real
 deployment would use (one file per fragment, so partial retrieval maps to
-partial reads).
+partial reads).  :class:`ShardedDiskStore` additionally fans fragments out
+over hashed subdirectories — the layout that keeps directory operations
+flat when an archive holds millions of fragments — and persists an
+append-only index so a reopened store serves everything archived before.
+
+Every store counts the reads it serves (``reads`` / ``bytes_read``); the
+service layer compares those counters against the shared
+:class:`~repro.storage.cache.FragmentCache` statistics to show how much
+disk traffic multi-client retrieval avoids.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import re
+import threading
 
 _KEY_RE = re.compile(r"[^A-Za-z0-9._-]")
+
+#: Append-only sidecar recording the original (un-sanitized) fragment keys
+#: of a :class:`DiskFragmentStore`, one JSON object per line.
+DISK_INDEX_LOG = ".repro-index.jsonl"
+
+#: Append-only persisted index of a :class:`ShardedDiskStore`.
+SHARD_INDEX_LOG = "index.jsonl"
+
+
+def _write_atomic(path: str, payload: bytes) -> None:
+    """Write *payload* so concurrent readers see old-or-new, never partial."""
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def open_store(archive_dir: str) -> "FragmentStore":
+    """Open an on-disk archive directory, auto-detecting its layout.
+
+    A :class:`ShardedDiskStore` is recognized by the persisted index it
+    leaves behind; anything else opens as a flat
+    :class:`DiskFragmentStore`.
+    """
+    if os.path.isfile(os.path.join(archive_dir, SHARD_INDEX_LOG)):
+        return ShardedDiskStore(archive_dir)
+    return DiskFragmentStore(archive_dir)
 
 
 class FragmentStore:
@@ -20,6 +58,14 @@ class FragmentStore:
 
     def __init__(self):
         self._data: dict = {}
+        #: Number of ``get`` calls served.
+        self.reads = 0
+        #: Total payload bytes served by ``get`` (the store-side traffic).
+        self.bytes_read = 0
+
+    def _count_read(self, nbytes: int) -> None:
+        self.reads += 1
+        self.bytes_read += int(nbytes)
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
         """Archive one fragment."""
@@ -29,10 +75,16 @@ class FragmentStore:
 
     def get(self, variable: str, segment: str) -> bytes:
         """Fetch one fragment; KeyError when absent."""
-        return self._data[(variable, segment)]
+        payload = self._data[(variable, segment)]
+        self._count_read(len(payload))
+        return payload
 
     def has(self, variable: str, segment: str) -> bool:
         return (variable, segment) in self._data
+
+    def keys(self) -> list:
+        """All archived ``(variable, segment)`` keys, insertion-ordered."""
+        return list(self._data)
 
     def segments(self, variable: str) -> list:
         """Segment names archived for *variable*, insertion-ordered."""
@@ -48,12 +100,41 @@ class FragmentStore:
 
 
 class DiskFragmentStore(FragmentStore):
-    """One-file-per-fragment store rooted at a directory."""
+    """One-file-per-fragment store rooted at a flat directory.
+
+    The fragment index survives process restarts: ``__init__`` rescans
+    ``root`` for fragment files and replays the append-only key log (which
+    preserves the original keys that filename sanitization would lose), so
+    ``has``/``get``/``segments``/``nbytes`` work on a reopened store.
+    """
 
     def __init__(self, root: str):
         super().__init__()
         self.root = root
+        self._lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
+        self._reindex()
+
+    def _reindex(self) -> None:
+        log_path = os.path.join(self.root, DISK_INDEX_LOG)
+        logged_files = set()
+        if os.path.isfile(log_path):
+            with open(log_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    self._data[(entry["variable"], entry["segment"])] = None
+                    logged_files.add(entry["file"])
+        # Legacy directories (written before the key log existed) are
+        # recovered from filenames; sanitization is idempotent, so lookups
+        # on the recovered keys resolve to the same files.
+        for fname in sorted(os.listdir(self.root)):
+            if fname in logged_files or not fname.endswith(".bin") or "__" not in fname:
+                continue
+            var, seg = fname[:-4].split("__", 1)
+            self._data[(var, seg)] = None
 
     def _path(self, variable: str, segment: str) -> str:
         safe_var = _KEY_RE.sub("_", variable)
@@ -63,15 +144,28 @@ class DiskFragmentStore(FragmentStore):
     def put(self, variable: str, segment: str, payload: bytes) -> None:
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
-        with open(self._path(variable, segment), "wb") as fh:
-            fh.write(payload)
-        self._data[(variable, segment)] = None  # index only; bytes on disk
+        path = self._path(variable, segment)
+        with self._lock:
+            is_new = (variable, segment) not in self._data
+            _write_atomic(path, bytes(payload))
+            self._data[(variable, segment)] = None  # index only; bytes on disk
+            if is_new:
+                entry = {
+                    "variable": variable,
+                    "segment": segment,
+                    "file": os.path.basename(path),
+                }
+                with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
+                    fh.write(json.dumps(entry) + "\n")
 
     def get(self, variable: str, segment: str) -> bytes:
         if (variable, segment) not in self._data:
             raise KeyError((variable, segment))
         with open(self._path(variable, segment), "rb") as fh:
-            return fh.read()
+            payload = fh.read()
+        with self._lock:
+            self._count_read(len(payload))
+        return payload
 
     def nbytes(self, variable: str | None = None) -> int:
         total = 0
@@ -79,3 +173,90 @@ class DiskFragmentStore(FragmentStore):
             if variable is None or var == variable:
                 total += os.path.getsize(self._path(var, seg))
         return total
+
+
+class ShardedDiskStore(FragmentStore):
+    """Fan-out fragment store with a persisted append-only index.
+
+    Fragments are hashed into ``fanout`` subdirectories so no single
+    directory grows with the archive (the layout object stores and
+    parallel file systems want), and every ``put`` appends one JSON line
+    to ``index.jsonl``.  Reopening replays the index, so a restarted
+    service immediately serves everything previously archived.  A short
+    digest suffix in each filename keeps distinct keys distinct even when
+    sanitization would collide them (``a/b`` vs. ``a_b``).
+    """
+
+    def __init__(self, root: str, fanout: int = 256):
+        super().__init__()
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.root = root
+        self.fanout = int(fanout)
+        self._lock = threading.Lock()
+        self._index: dict = {}  # (variable, segment) -> (relpath, nbytes)
+        self._log_path = os.path.join(root, SHARD_INDEX_LOG)
+        os.makedirs(root, exist_ok=True)
+        if os.path.isfile(self._log_path):
+            with open(self._log_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    self._index[(entry["variable"], entry["segment"])] = (
+                        entry["path"],
+                        int(entry["nbytes"]),
+                    )
+
+    def _relpath(self, variable: str, segment: str) -> str:
+        digest = hashlib.sha1(f"{variable}\x00{segment}".encode()).hexdigest()
+        shard = f"{int(digest[:8], 16) % self.fanout:03x}"
+        safe_var = _KEY_RE.sub("_", variable)
+        safe_seg = _KEY_RE.sub("_", segment)
+        return os.path.join(shard, f"{safe_var}__{safe_seg}__{digest[:8]}.bin")
+
+    def put(self, variable: str, segment: str, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("fragment payload must be bytes")
+        rel = self._relpath(variable, segment)
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _write_atomic(path, bytes(payload))
+        entry = {
+            "variable": variable,
+            "segment": segment,
+            "path": rel,
+            "nbytes": len(payload),
+        }
+        with self._lock:
+            self._index[(variable, segment)] = (rel, len(payload))
+            with open(self._log_path, "a") as fh:
+                fh.write(json.dumps(entry) + "\n")
+
+    def get(self, variable: str, segment: str) -> bytes:
+        with self._lock:
+            if (variable, segment) not in self._index:
+                raise KeyError((variable, segment))
+            rel, _ = self._index[(variable, segment)]
+        with open(os.path.join(self.root, rel), "rb") as fh:
+            payload = fh.read()
+        with self._lock:
+            self._count_read(len(payload))
+        return payload
+
+    def has(self, variable: str, segment: str) -> bool:
+        return (variable, segment) in self._index
+
+    def keys(self) -> list:
+        return list(self._index)
+
+    def segments(self, variable: str) -> list:
+        return [seg for (var, seg) in self._index if var == variable]
+
+    def nbytes(self, variable: str | None = None) -> int:
+        return sum(
+            n
+            for (var, _), (_, n) in self._index.items()
+            if variable is None or var == variable
+        )

@@ -66,6 +66,25 @@ class TestSessionReuse:
             rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
             assert np.max(np.abs(rec - truth)) <= tol * qrange * (1 + 1e-9)
 
+    def test_tightening_ladder_beats_two_fresh_sessions(self, setup):
+        """The incremental economics claim, quantified: a loose-then-tight
+        ladder in ONE session moves strictly fewer cumulative bytes than
+        running each rung in its own fresh session."""
+        f, refactored, ranges, qoi, truth, qrange = setup
+        session = QoIRetriever(refactored, ranges).session()
+        r1 = session.retrieve([QoIRequest("VTOT", qoi, 1e-2, qrange)])
+        r2 = session.retrieve([QoIRequest("VTOT", qoi, 1e-5, qrange)])
+        assert r1.all_satisfied and r2.all_satisfied
+        cumulative = session.bytes_retrieved()
+
+        fresh_loose = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-2, qrange)]
+        )
+        fresh_tight = QoIRetriever(refactored, ranges).retrieve(
+            [QoIRequest("VTOT", qoi, 1e-5, qrange)]
+        )
+        assert cumulative < fresh_loose.total_bytes + fresh_tight.total_bytes
+
     def test_bytes_retrieved_per_variable(self, setup):
         f, refactored, ranges, qoi, truth, qrange = setup
         session = QoIRetriever(refactored, ranges).session()

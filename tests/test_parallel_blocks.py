@@ -7,8 +7,11 @@ from repro.compressors.base import make_refactorer
 from repro.core.qois import total_velocity
 from repro.parallel.blocks import (
     BlockedDataset,
+    block_variable,
+    blockwise_archive,
     blockwise_refactor,
     blockwise_retrieve,
+    blockwise_retrieve_service,
     split_fields,
 )
 
@@ -95,3 +98,54 @@ class TestBlockwisePipeline:
         result = blockwise_retrieve(blocked, refactored, qoi, "VTOT", 1e-4, qrange)
         # the noisy block needs more bytes than the smooth one
         assert result.per_block_bytes[1] > result.per_block_bytes[0]
+
+
+class TestBlockwiseService:
+    def test_archive_and_retrieve_through_shared_cache(self):
+        from repro.service.service import RetrievalService
+        from repro.storage.archive import Archive
+        from repro.storage.store import FragmentStore
+
+        f = fields(seed=3)
+        blocked = BlockedDataset.from_fields(f, 4)
+        refactored = blockwise_refactor(blocked, lambda: make_refactorer("pmgard_hb"))
+        store = FragmentStore()
+        manifest = blockwise_archive(
+            blocked, refactored, Archive(store), method="pmgard_hb"
+        )
+        assert block_variable("velocity_x", 0) in manifest.variables
+        assert len(manifest.variables) == 4 * 3
+
+        qoi = total_velocity()
+        truth = qoi.value({k: (v, 0.0) for k, v in f.items()})
+        qrange = float(truth.max() - truth.min())
+
+        service = RetrievalService(store)  # manifest picked up from store
+        result = blockwise_retrieve_service(
+            service, list(f), blocked.num_blocks, qoi, "VTOT", 1e-4, qrange,
+            max_workers=3,
+        )
+        assert result.all_satisfied
+        rec = qoi.value({k: (result.data[k], 0.0) for k in result.data})
+        assert np.max(np.abs(rec - truth)) <= 1e-4 * qrange * (1 + 1e-9)
+        bytes_first = store.bytes_read
+        assert bytes_first > 0
+
+        # a second sweep (e.g. another analyst re-running the job) is
+        # served entirely from the shared fragment cache
+        again = blockwise_retrieve_service(
+            service, list(f), blocked.num_blocks, qoi, "VTOT", 1e-4, qrange,
+            max_workers=3,
+        )
+        assert again.all_satisfied
+        assert store.bytes_read == bytes_first
+        assert service.stats().cache.hit_rate > 0.4
+
+    def test_block_count_mismatch(self):
+        from repro.storage.archive import Archive
+        from repro.storage.store import FragmentStore
+
+        f = fields(seed=4)
+        blocked = BlockedDataset.from_fields(f, 3)
+        with np.testing.assert_raises(ValueError):
+            blockwise_archive(blocked, [], Archive(FragmentStore()))

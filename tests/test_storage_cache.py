@@ -1,0 +1,131 @@
+"""Tests for the shared LRU fragment cache and its store adapter."""
+
+import threading
+
+import pytest
+
+from repro.storage.cache import CacheStats, CachingFragmentStore, FragmentCache
+from repro.storage.store import FragmentStore
+
+
+def make_store(entries):
+    store = FragmentStore()
+    for (var, seg), payload in entries.items():
+        store.put(var, seg, payload)
+    return store
+
+
+class TestFragmentCache:
+    def test_miss_then_hit(self):
+        cache = FragmentCache(capacity_bytes=1024)
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return b"abcd"
+
+        assert cache.get_or_load("v", "s", loader) == b"abcd"
+        assert cache.get_or_load("v", "s", loader) == b"abcd"
+        assert len(loads) == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.bytes_from_store == 4 and stats.bytes_from_cache == 4
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_respects_byte_budget(self):
+        cache = FragmentCache(capacity_bytes=10)
+        cache.get_or_load("v", "a", lambda: b"xxxx")  # 4 bytes
+        cache.get_or_load("v", "b", lambda: b"yyyy")  # 8 bytes total
+        cache.get_or_load("v", "a", lambda: b"!!")    # touch a -> b becomes LRU
+        cache.get_or_load("v", "c", lambda: b"zzzz")  # 12 > 10: evict b
+        assert ("v", "a") in cache
+        assert ("v", "c") in cache
+        assert ("v", "b") not in cache
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.current_bytes <= 10
+
+    def test_oversized_payload_served_but_not_cached(self):
+        cache = FragmentCache(capacity_bytes=4)
+        big = b"0123456789"
+        assert cache.get_or_load("v", "big", lambda: big) == big
+        assert ("v", "big") not in cache
+        assert cache.stats().current_bytes == 0
+
+    def test_invalidate_and_clear(self):
+        cache = FragmentCache(capacity_bytes=1024)
+        cache.get_or_load("v", "a", lambda: b"aa")
+        cache.get_or_load("v", "b", lambda: b"bb")
+        cache.invalidate("v", "a")
+        assert ("v", "a") not in cache and ("v", "b") in cache
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().current_bytes == 0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            FragmentCache(capacity_bytes=0)
+
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_concurrent_single_flight(self):
+        """N threads requesting the same fragments trigger one load each."""
+        inner = make_store({("v", f"s{i}"): bytes(16) for i in range(8)})
+        cache = FragmentCache(capacity_bytes=1 << 20)
+
+        def client():
+            for i in range(8):
+                cache.get_or_load("v", f"s{i}", lambda i=i: inner.get("v", f"s{i}"))
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # misses are single-flight: the store served each fragment once
+        assert inner.reads == 8
+        stats = cache.stats()
+        assert stats.misses == 8
+        assert stats.hits == 8 * 5
+
+
+class TestCachingFragmentStore:
+    def test_read_through_counts_store_once(self):
+        inner = make_store({("p", "s0"): b"abc", ("p", "s1"): b"defg"})
+        cached = CachingFragmentStore(inner, FragmentCache(1 << 20))
+        for _ in range(3):
+            assert cached.get("p", "s0") == b"abc"
+            assert cached.get("p", "s1") == b"defg"
+        assert inner.reads == 2          # one store read per fragment
+        assert cached.reads == 6         # client-visible traffic
+        assert cached.bytes_read == 3 * 7
+
+    def test_put_writes_through_and_invalidates(self):
+        inner = FragmentStore()
+        cached = CachingFragmentStore(inner, FragmentCache(1 << 20))
+        cached.put("p", "s0", b"old")
+        assert cached.get("p", "s0") == b"old"
+        cached.put("p", "s0", b"new!")
+        assert cached.get("p", "s0") == b"new!"
+        assert inner.get("p", "s0") == b"new!"
+
+    def test_delegates_metadata_queries(self):
+        inner = make_store({("p", "s0"): b"abc", ("q", "s0"): b"de"})
+        cached = CachingFragmentStore(inner, FragmentCache(1 << 20))
+        assert cached.has("p", "s0") and not cached.has("p", "s9")
+        assert cached.segments("p") == ["s0"]
+        assert set(cached.keys()) == {("p", "s0"), ("q", "s0")}
+        assert cached.nbytes() == 5
+        assert cached.nbytes("q") == 2
+
+    def test_shared_cache_across_adapters(self):
+        """Two adapters over the same cache share fragments (multi-archive)."""
+        inner = make_store({("p", "s0"): b"abcd"})
+        cache = FragmentCache(1 << 20)
+        a = CachingFragmentStore(inner, cache)
+        b = CachingFragmentStore(inner, cache)
+        a.get("p", "s0")
+        b.get("p", "s0")
+        assert inner.reads == 1
+        assert cache.stats().hits == 1

@@ -1,10 +1,12 @@
 """Tests for fragment stores and dataset manifests."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.storage.metadata import DatasetManifest, VariableMetadata
-from repro.storage.store import DiskFragmentStore, FragmentStore
+from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore
 
 
 class TestFragmentStore:
@@ -58,6 +60,106 @@ class TestDiskStore:
         store = DiskFragmentStore(str(tmp_path / "frags"))
         with pytest.raises(KeyError):
             store.get("v", "s")
+
+    def test_reopen_serves_previous_fragments(self, tmp_path):
+        """Regression: the fragment index must survive a process restart."""
+        root = str(tmp_path / "frags")
+        store = DiskFragmentStore(root)
+        store.put("pressure", "snapshot_000", b"abc")
+        store.put("pressure", "snapshot_001", b"defg")
+        store.put("density", "coarse", b"hi")
+
+        reopened = DiskFragmentStore(root)
+        assert reopened.has("pressure", "snapshot_000")
+        assert reopened.get("pressure", "snapshot_001") == b"defg"
+        assert reopened.segments("pressure") == ["snapshot_000", "snapshot_001"]
+        assert reopened.nbytes() == 9
+        assert reopened.nbytes("density") == 2
+
+    def test_reopen_preserves_unsafe_keys(self, tmp_path):
+        """The key log restores keys that filename sanitization mangles."""
+        root = str(tmp_path / "frags")
+        DiskFragmentStore(root).put("a/b..c", "s:1", b"x")
+        reopened = DiskFragmentStore(root)
+        assert reopened.has("a/b..c", "s:1")
+        assert reopened.get("a/b..c", "s:1") == b"x"
+
+    def test_reopen_legacy_directory_without_log(self, tmp_path):
+        """Directories written before the key log existed are rescanned."""
+        root = str(tmp_path / "frags")
+        store = DiskFragmentStore(root)
+        store.put("v", "s0", b"abcd")
+        os.remove(os.path.join(root, ".repro-index.jsonl"))
+        reopened = DiskFragmentStore(root)
+        assert reopened.get("v", "s0") == b"abcd"
+
+    def test_read_accounting(self, tmp_path):
+        store = DiskFragmentStore(str(tmp_path / "frags"))
+        store.put("v", "s0", b"abcd")
+        store.get("v", "s0")
+        store.get("v", "s0")
+        assert store.reads == 2
+        assert store.bytes_read == 8
+
+
+class TestShardedDiskStore:
+    def test_roundtrip_and_accounting(self, tmp_path):
+        store = ShardedDiskStore(str(tmp_path / "frags"))
+        payload = bytes(range(256))
+        store.put("density", "snap/3", payload)
+        assert store.get("density", "snap/3") == payload
+        assert store.nbytes() == 256
+        assert store.reads == 1 and store.bytes_read == 256
+
+    def test_fragments_fan_out_into_shard_dirs(self, tmp_path):
+        root = tmp_path / "frags"
+        store = ShardedDiskStore(str(root), fanout=16)
+        for i in range(32):
+            store.put("v", f"s{i:02d}", bytes([i]))
+        shard_dirs = [p for p in root.iterdir() if p.is_dir()]
+        assert len(shard_dirs) > 1          # fragments spread over shards
+        assert all(len(p.name) == 3 for p in shard_dirs)
+        files = [f for d in shard_dirs for f in d.iterdir()]
+        assert len(files) == 32             # one file per fragment
+
+    def test_reopen_serves_previous_fragments(self, tmp_path):
+        root = str(tmp_path / "frags")
+        store = ShardedDiskStore(root)
+        store.put("pressure", "snapshot_000", b"abc")
+        store.put("a/b..c", "s:1", b"xy")
+
+        reopened = ShardedDiskStore(root)
+        assert reopened.has("pressure", "snapshot_000")
+        assert reopened.get("pressure", "snapshot_000") == b"abc"
+        assert reopened.get("a/b..c", "s:1") == b"xy"
+        assert reopened.nbytes() == 5
+        assert set(reopened.keys()) == {("pressure", "snapshot_000"), ("a/b..c", "s:1")}
+
+    def test_sanitize_collisions_stay_distinct(self, tmp_path):
+        """``a/b`` and ``a_b`` sanitize identically; the digest suffix
+        keeps their files distinct."""
+        store = ShardedDiskStore(str(tmp_path / "frags"))
+        store.put("a/b", "s", b"slash")
+        store.put("a_b", "s", b"under")
+        assert store.get("a/b", "s") == b"slash"
+        assert store.get("a_b", "s") == b"under"
+
+    def test_overwrite_updates_nbytes(self, tmp_path):
+        root = str(tmp_path / "frags")
+        store = ShardedDiskStore(root)
+        store.put("v", "s", b"abcdef")
+        store.put("v", "s", b"xy")
+        assert store.nbytes() == 2
+        assert ShardedDiskStore(root).nbytes() == 2  # replay keeps last entry
+
+    def test_missing(self, tmp_path):
+        store = ShardedDiskStore(str(tmp_path / "frags"))
+        with pytest.raises(KeyError):
+            store.get("v", "s")
+
+    def test_rejects_bad_fanout(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedDiskStore(str(tmp_path / "frags"), fanout=0)
 
 
 class TestManifest:
