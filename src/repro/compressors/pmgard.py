@@ -55,12 +55,85 @@ class PMGARDRefactored(Refactored):
     def kappa(self) -> float:
         return self.transform.kappa(len(self.decomp.shapes[0]) if self.decomp.shapes else 1)
 
+    def plan_table(self) -> "PlanTable":
+        """Shared closed-form plane-assignment table (built once, cached).
+
+        Sessions opened by many clients against the same refactored
+        variable (the service path) all plan from this one table, so a
+        retrieval round costs a binary search instead of a greedy peel
+        loop over every outstanding plane.
+        """
+        table = getattr(self, "_plan_table", None)
+        if table is None:
+            table = PlanTable(self.streams, self.kappa)
+            self._plan_table = table
+        return table
+
     def reader(self) -> "PMGARDReader":
         return PMGARDReader(self)
 
     def resolution_reader(self) -> "PMGARDResolutionReader":
         """Open a resolution-progressive reader (coarse levels first)."""
         return PMGARDResolutionReader(self)
+
+
+class PlanTable:
+    """Closed-form replacement for the greedy most-significant-plane peel.
+
+    The greedy loop always peels the level whose current bound
+    ``kappa * 2**(e_l - k_l)`` is largest (ties to the lowest level
+    index), and each peel halves that bound — so the order in which
+    planes are peeled is *fixed*: it is the list of (level, plane) pairs
+    sorted by descending pre-peel bound, ties by level.  Precomputing
+    that order plus the running sum of bound reductions turns every
+    ``request(eb)`` into one :func:`numpy.searchsorted` over the
+    cumulative reductions instead of an O(planes) Python loop per round.
+
+    Floating-point summation order differs from the greedy loop's
+    running ``sum(bounds)``, so callers re-run the greedy loop from the
+    planned state as a mop-up; it converges in at most a step or two and
+    keeps the stopping condition bit-identical to the original.
+    """
+
+    def __init__(self, streams, kappa: float):
+        levels = []
+        values = []
+        deltas = []
+        for l, s in enumerate(streams):
+            if s.exponent is None:
+                continue
+            bounds = np.array(
+                [kappa * s.error_bound(k) for k in range(s.num_planes + 1)]
+            )
+            pre = bounds[:-1]  # bound before peeling plane k+1
+            keep = pre > 0.0  # underflowed levels cannot shrink further
+            levels.append(np.full(int(keep.sum()), l, dtype=np.int64))
+            values.append(pre[keep])
+            deltas.append((pre - bounds[1:])[keep])
+        if levels:
+            ev_level = np.concatenate(levels)
+            ev_value = np.concatenate(values)
+            ev_delta = np.concatenate(deltas)
+            # stable order: descending bound, then level (greedy tie-break);
+            # within a level bounds strictly decrease, so plane order holds
+            order = np.lexsort((ev_level, -ev_value))
+            self.ev_level = ev_level[order]
+            self.cum_delta = np.cumsum(ev_delta[order])
+        else:
+            self.ev_level = np.zeros(0, dtype=np.int64)
+            self.cum_delta = np.zeros(0)
+        # initial bound sum, accumulated in level order like the greedy loop
+        self.total = float(sum(kappa * s.error_bound(0) for s in streams))
+        self.num_levels = len(streams)
+
+    def planes_for(self, eb: float) -> np.ndarray:
+        """Planes per level after greedily peeling until the bound fits."""
+        if self.ev_level.size == 0 or self.total <= eb:
+            return np.zeros(self.num_levels, dtype=np.int64)
+        need = self.total - eb
+        m = int(np.searchsorted(self.cum_delta, need, side="left")) + 1
+        m = min(m, self.ev_level.size)
+        return np.bincount(self.ev_level[:m], minlength=self.num_levels)
 
 
 class PMGARDReader(ProgressiveReader):
@@ -102,31 +175,40 @@ class PMGARDReader(ProgressiveReader):
                 np.frombuffer(raw, dtype=np.float64).reshape(ref.coarse_shape).copy()
             )
 
+    def _plan(self, eb: float) -> list:
+        """Planes per level meeting *eb*: closed-form seed + greedy mop-up."""
+        decs = self._decoders
+        kappa = self._ref.kappa
+        seed = self._ref.plan_table().planes_for(eb)
+        planned = [max(int(seed[l]), d.planes_consumed) for l, d in enumerate(decs)]
+        bounds = [kappa * d.stream.error_bound(planned[l]) for l, d in enumerate(decs)]
+        num_planes = [d.stream.num_planes for d in decs]
+        # greedy mop-up: peel the most significant outstanding plane of the
+        # currently dominating level until the total bound fits.  The seed
+        # lands at (or within a rounding step of) the fixed point, so this
+        # loop runs O(1) times; it also keeps the stopping condition
+        # bit-identical to the original greedy planner.
+        while sum(bounds) > eb:
+            # only levels whose bound still shrinks are useful; all-zero
+            # groups (bound 0) or fully-fetched levels cannot help
+            candidates = [
+                l for l in range(len(decs))
+                if planned[l] < num_planes[l] and bounds[l] > 0.0
+            ]
+            if not candidates:
+                break
+            worst = max(candidates, key=lambda l: bounds[l])
+            planned[worst] += 1
+            bounds[worst] = kappa * decs[worst].stream.error_bound(planned[worst])
+        return planned
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         self._fetch_coarse()
         self._requested = True
         decs = self._decoders
         if decs:
-            bounds = [self._level_bound(l) for l in range(len(decs))]
-            planned = [d.planes_consumed for d in decs]
-            num_planes = [d.stream.num_planes for d in decs]
-            # greedy: peel the most significant outstanding plane of the
-            # currently dominating level until the total bound fits
-            kappa = self._ref.kappa
-            while sum(bounds) > eb:
-                # only levels whose bound still shrinks are useful; all-zero
-                # groups (bound 0) or fully-fetched levels cannot help
-                candidates = [
-                    l for l in range(len(decs))
-                    if planned[l] < num_planes[l] and bounds[l] > 0.0
-                ]
-                if not candidates:
-                    break
-                worst = max(candidates, key=lambda l: bounds[l])
-                planned[worst] += 1
-                bounds[worst] = kappa * decs[worst].stream.error_bound(planned[worst])
-            for l, k in enumerate(planned):
+            for l, k in enumerate(self._plan(eb)):
                 fetched = decs[l].advance_to(k)
                 if fetched:
                     self._dirty = True

@@ -248,14 +248,22 @@ class RetrievalSession:
         recon: dict = {}
         estimated = {r.name: np.inf for r in requests}
         satisfied = {r.name: False for r in requests}
+        requested: dict = {}  # eb each reader was last asked for, this call
         rounds = 0
         while rounds < max_rounds:
             rounds += 1
             progressed = False
             with sw.section("fetch"):
                 for v in involved:
+                    # a reader only moves when asked for a *tighter* bound;
+                    # re-requesting an unchanged eb is a no-op, so skip the
+                    # plan/reconstruct round-trip for variables Algorithm 4
+                    # did not touch this round
+                    if v in requested and not ebs[v] < requested[v]:
+                        continue
                     reader = readers[v]
                     rec = reader.request(ebs[v])
+                    requested[v] = ebs[v]
                     bound = reader.current_error_bound
                     if bound < achieved[v]:
                         progressed = True

@@ -8,9 +8,19 @@ binary exponent, converted to fixed point, and the bits are stored one
 coefficient error of at most ``2**(e - k)``; retrieving all ``P`` planes
 leaves only the fixed-point truncation error ``2**(e - P)``.
 
+Planes are extracted and re-assembled array-at-a-time (see
+:func:`repro.utils.bits.pack_bitplanes` /
+:func:`repro.utils.bits.accumulate_bitplanes`); the scalar per-plane loops
+they replaced live on in :mod:`repro.encoding.reference` as the
+bit-exactness oracle.
+
 Each plane is packed with :func:`numpy.packbits` and compressed with a
 lossless backend, so a plane is an independently fetchable *segment* whose
 byte size feeds the bitrate accounting of the rate-distortion studies.
+Low-significance planes of real data are usually indistinguishable from
+noise, so each segment carries a one-byte marker and is stored raw when a
+sample shows the backend cannot shrink it — the entropy stage then costs
+time only where it saves bytes.
 
 Signs are stored as one extra segment fetched together with the first
 plane.  (PMGARD embeds the sign after a coefficient's first significant
@@ -25,6 +35,52 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.encoding.lossless import get_backend
+from repro.utils.bits import accumulate_bitplanes, element_byte_width, pack_bitplanes
+
+#: Segment framing markers: stored raw vs. backend-compressed.
+_SEG_RAW = b"\x00"
+_SEG_COMPRESSED = b"\x01"
+#: Segments shorter than this skip the compressibility probe entirely.
+_PROBE_MIN = 4096
+#: Leading bytes fed to the probe compression.
+_PROBE_BYTES = 65536
+#: Probe ratio above which a segment is declared incompressible.
+_PROBE_RATIO = 0.97
+
+
+def _compress_segment(backend, raw: bytes) -> bytes:
+    """Frame *raw* as a segment: compressed when the backend earns its keep."""
+    comp = None
+    if len(raw) >= _PROBE_MIN:
+        probe = raw[:_PROBE_BYTES]
+        comp_probe = backend.compress_bytes(probe)
+        if len(comp_probe) > _PROBE_RATIO * len(probe):
+            return _SEG_RAW + raw
+        if len(probe) == len(raw):  # the probe already compressed everything
+            comp = comp_probe
+    if comp is None:
+        comp = backend.compress_bytes(raw)
+    if len(comp) + 1 >= len(raw):
+        return _SEG_RAW + raw
+    return _SEG_COMPRESSED + comp
+
+
+def _decompress_segment(backend, segment: bytes) -> bytes:
+    """Inverse of :func:`_compress_segment`."""
+    if not segment:
+        return b""
+    marker, body = segment[:1], segment[1:]
+    if marker == _SEG_RAW:
+        return body
+    if marker == _SEG_COMPRESSED:
+        return backend.decompress_bytes(body)
+    # legacy fallback: segments written before the framing marker existed
+    # are whole-segment backend payloads (zlib streams start 0x?8, never
+    # 0x00/0x01), so archives from older revisions stay readable
+    try:
+        return backend.decompress_bytes(segment)
+    except Exception:
+        raise ValueError(f"unknown bitplane segment marker {marker!r}") from None
 
 
 @dataclass
@@ -105,7 +161,8 @@ class BitplaneEncoder:
         coeffs = np.asarray(coeffs, dtype=np.float64)
         shape = coeffs.shape
         flat = coeffs.ravel()
-        amax = float(np.max(np.abs(flat))) if flat.size else 0.0
+        mags = np.abs(flat)
+        amax = float(mags.max()) if flat.size else 0.0
         # groups whose largest magnitude is below 2**-1000 are archived as
         # zero: their truncation error (< 1e-301) is beyond any physically
         # meaningful tolerance, and it keeps the fixed-point scaling inside
@@ -116,17 +173,20 @@ class BitplaneEncoder:
         _, e = np.frexp(amax)
         e = int(e)
         P = self.num_planes
-        # ldexp scales by 2**(P-e) without materializing the huge factor
-        mags = np.floor(np.ldexp(np.abs(flat), P - e)).astype(np.uint64)
+        # scale by 2**(P-e) as two in-range power-of-two factors: each
+        # multiply is exact (same result as ldexp) unless the value is
+        # headed below 1 ulp anyway, and it runs in-place on the |c| buffer
+        half = (P - e) // 2
+        mags *= 2.0**half
+        mags *= 2.0 ** (P - e - half)
+        fixed = mags.astype(np.uint64)  # trunc == floor: values are >= 0
         # amax*scale can land exactly on 2**P; clamp into range
-        np.minimum(mags, np.uint64((1 << P) - 1), out=mags)
+        np.minimum(fixed, np.uint64((1 << P) - 1), out=fixed)
         signs = np.signbit(flat)
-        sign_segment = self.backend.compress_bytes(np.packbits(signs).tobytes())
-        planes = []
-        for p in range(P):
-            shift = np.uint64(P - 1 - p)
-            bits = ((mags >> shift) & np.uint64(1)).astype(np.uint8)
-            planes.append(self.backend.compress_bytes(np.packbits(bits).tobytes()))
+        backend = self.backend
+        sign_segment = _compress_segment(backend, np.packbits(signs).tobytes())
+        rows = pack_bitplanes(fixed, P)
+        planes = [_compress_segment(backend, rows[p].tobytes()) for p in range(P)]
         return BitplaneStream(shape, e, P, sign_segment, planes)
 
 
@@ -135,15 +195,23 @@ class BitplaneDecoder:
 
     Tracks how many planes have been consumed so repeated calls to
     :meth:`advance_to` only decode the *new* planes (the incremental
-    property required by Definition 1 of the paper).
+    property required by Definition 1 of the paper).  Magnitudes are
+    held as a big-endian byte matrix so newly fetched planes merge via
+    :func:`repro.utils.bits.accumulate_bitplanes` in a few vector passes.
     """
 
     def __init__(self, stream: BitplaneStream, backend: str = "zlib"):
         self.stream = stream
         self.backend = get_backend(backend)
         self.planes_consumed = 0
-        self._mags = np.zeros(stream.size, dtype=np.uint64)
+        self._width = element_byte_width(stream.num_planes)
+        self._mag_bytes = np.zeros((stream.size, self._width), dtype=np.uint8)
         self._signs: np.ndarray | None = None
+
+    @property
+    def _mags(self) -> np.ndarray:
+        """Accumulated fixed-point magnitudes (big-endian view, no copy)."""
+        return self._mag_bytes.view(f">u{self._width}").ravel()
 
     def advance_to(self, planes: int) -> int:
         """Consume planes up to *planes*; returns bytes newly fetched."""
@@ -152,15 +220,17 @@ class BitplaneDecoder:
         if stream.exponent is None or target <= self.planes_consumed:
             return 0
         fetched = stream.segment_bytes(self.planes_consumed, target)
+        backend = self.backend
         if self._signs is None:
-            raw = self.backend.decompress_bytes(stream.sign_segment)
+            raw = _decompress_segment(backend, stream.sign_segment)
             bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
             self._signs = bits[: stream.size].astype(bool)
-        P = stream.num_planes
+        nb = (stream.size + 7) // 8
+        rows = []
         for p in range(self.planes_consumed, target):
-            raw = self.backend.decompress_bytes(stream.plane_segments[p])
-            bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))[: stream.size]
-            self._mags |= bits.astype(np.uint64) << np.uint64(P - 1 - p)
+            raw = _decompress_segment(backend, stream.plane_segments[p])
+            rows.append((p, np.frombuffer(raw, dtype=np.uint8, count=nb)))
+        accumulate_bitplanes(rows, stream.num_planes, self._mag_bytes)
         self.planes_consumed = target
         return fetched
 
@@ -171,13 +241,14 @@ class BitplaneDecoder:
             return np.zeros(stream.shape, dtype=np.float64)
         P = stream.num_planes
         k = self.planes_consumed
-        vals = self._mags.astype(np.float64)
+        mags = self._mags
+        vals = mags.astype(np.float64)
         if 0 < k < P:
             # midpoint offset for coefficients already known non-zero:
             # halves the expected truncation error without weakening the
             # 2**(e-k) guarantee.
             offset = float(2 ** (P - k - 1))
-            vals[self._mags > 0] += offset
+            vals[mags > 0] += offset
         vals = np.ldexp(vals, stream.exponent - P)
         if self._signs is not None:
             np.negative(vals, where=self._signs, out=vals)

@@ -12,10 +12,15 @@ Huffman coder.  This module provides a faithful, self-contained equivalent:
   progressively flattened until the longest code fits, a standard
   length-limiting heuristic).
 
-Decoding walks the symbol stream in a Python loop (one table lookup per
-symbol); this is why :class:`repro.encoding.lossless.ZlibBackend` is the
-default entropy stage for large arrays, while this codec backs the
-entropy-ablation benchmark and small metadata streams.
+Decoding is vectorized by *chunking*: the encoder records the starting bit
+offset of every ``chunk_size``-symbol run in the container (the ``RHC2``
+format), so the decoder advances all chunks in lockstep — each loop
+iteration decodes one symbol of every chunk with a handful of NumPy
+gathers, instead of one Python-level table walk per symbol.  The chunk
+index costs ~1% of the payload and buys two orders of magnitude in decode
+throughput (the per-symbol reference walk survives in
+:mod:`repro.encoding.reference`).  Small streams skip the machinery and
+take a scalar walk directly.
 """
 
 from __future__ import annotations
@@ -28,8 +33,14 @@ import numpy as np
 
 from repro.utils.bits import pack_varlen_codes
 
-_MAGIC = b"RHC1"
+_MAGIC = b"RHC2"
 _MAX_CODE_LEN = 16
+#: Symbols per chunk in the container's lockstep-decode index.
+_CHUNK_SIZE = 1024
+#: Below this chunk count the lockstep machinery loses to a scalar walk.
+_MIN_LOCKSTEP_CHUNKS = 8
+_HEADER = struct.Struct("<QQQLL")  # n, alphabet size, nbits, chunk, nchunks
+_HEADER_BYTES = 4 + _HEADER.size
 
 
 def _code_lengths_from_counts(counts: np.ndarray) -> np.ndarray:
@@ -85,64 +96,183 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+def _decode_tables(alphabet: np.ndarray, lengths: np.ndarray) -> tuple:
+    """Expanded ``(symbol, length)`` lookup over maxlen-bit windows.
+
+    Canonical codes sorted by ``(length, symbol)`` tile the window space
+    contiguously from zero, so the table is one :func:`numpy.repeat` per
+    column; unreachable windows (possible only for a single-symbol
+    alphabet, whose lone 1-bit code spans half the space) get length 0,
+    the corrupt-stream marker.
+    """
+    maxlen = int(lengths.max())
+    order = np.lexsort((np.arange(alphabet.size), lengths))
+    spans = np.int64(1) << (maxlen - lengths[order])
+    total = int(spans.sum())
+    size = 1 << maxlen
+    if total > size:
+        raise ValueError("corrupt Huffman stream: over-subscribed code table")
+    table_sym = np.zeros(size, dtype=np.int64)
+    table_len = np.zeros(size, dtype=np.int64)
+    table_sym[:total] = np.repeat(alphabet[order], spans)
+    table_len[:total] = np.repeat(lengths[order], spans)
+    return table_sym, table_len, maxlen
+
+
 @dataclass
 class HuffmanCodec:
     """Encode/decode ``int64`` symbol arrays with canonical Huffman codes."""
 
+    chunk_size: int = _CHUNK_SIZE
+
     def encode(self, symbols: np.ndarray) -> bytes:
         """Encode *symbols*; the code table travels inside the payload."""
         symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        chunk = int(self.chunk_size)
+        if chunk < 1:
+            raise ValueError("chunk_size must be >= 1")
         if symbols.size == 0:
-            return _MAGIC + struct.pack("<QQ", 0, 0)
+            return _MAGIC + _HEADER.pack(0, 0, 0, chunk, 0)
         alphabet, inverse = np.unique(symbols, return_inverse=True)
         counts = np.bincount(inverse)
         lengths = _limited_code_lengths(counts, _MAX_CODE_LEN)
         codes = _canonical_codes(lengths)
-        payload, nbits = pack_varlen_codes(codes[inverse], lengths[inverse])
-        header = _MAGIC + struct.pack("<QQ", symbols.size, alphabet.size)
+        bitlens = lengths[inverse]
+        payload, nbits = pack_varlen_codes(codes[inverse], bitlens)
+        nchunks = (symbols.size + chunk - 1) // chunk
+        # bit offset where each chunk of `chunk` symbols starts
+        starts = np.zeros(nchunks, dtype=np.uint64)
+        if nchunks > 1:
+            starts[1:] = np.cumsum(bitlens)[chunk - 1 :: chunk][: nchunks - 1]
+        header = _MAGIC + _HEADER.pack(symbols.size, alphabet.size, nbits, chunk, nchunks)
         table = alphabet.tobytes() + lengths.astype(np.uint8).tobytes()
-        return header + struct.pack("<Q", nbits) + table + payload
+        return header + table + starts.tobytes() + payload
 
     def decode(self, payload: bytes) -> np.ndarray:
-        """Inverse of :meth:`encode`."""
-        if payload[:4] != _MAGIC:
-            raise ValueError("bad magic in Huffman stream")
-        n, asize = struct.unpack_from("<QQ", payload, 4)
+        """Inverse of :meth:`encode`.
+
+        Raises :class:`ValueError` with a specific message on any
+        truncated or corrupt stream; no NumPy shape/index error escapes.
+        """
+        n, alphabet, lengths, starts, nbits, chunk, body = _parse_container(payload)
         if n == 0:
             return np.zeros(0, dtype=np.int64)
-        (nbits,) = struct.unpack_from("<Q", payload, 20)
-        off = 28
-        alphabet = np.frombuffer(payload, dtype=np.int64, count=asize, offset=off)
-        off += 8 * asize
-        lengths = np.frombuffer(payload, dtype=np.uint8, count=asize, offset=off).astype(np.int64)
-        off += asize
-        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8, offset=off))[:nbits]
-        codes = _canonical_codes(lengths)
-        maxlen = int(lengths.max())
-        # Full decode table over maxlen-bit windows: every window whose
-        # prefix matches a codeword maps to (symbol, code length).
-        table_sym = np.zeros(1 << maxlen, dtype=np.int64)
-        table_len = np.zeros(1 << maxlen, dtype=np.int64)
-        for sym_idx in range(asize):
-            L = int(lengths[sym_idx])
-            base = int(codes[sym_idx]) << (maxlen - L)
-            span = 1 << (maxlen - L)
-            table_sym[base : base + span] = alphabet[sym_idx]
-            table_len[base : base + span] = L
-        # Pad the bit array so windows near the end are always readable.
-        padded = np.concatenate([bits, np.zeros(maxlen, dtype=np.uint8)])
-        weights = (1 << np.arange(maxlen - 1, -1, -1)).astype(np.int64)
+        table_sym, table_len, maxlen = _decode_tables(alphabet, lengths)
+        # 24-bit sliding view: any maxlen<=16 window at bit position p lives
+        # inside bytes [p//8, p//8 + 2], padded so speculative advances on a
+        # corrupt stream stay in bounds until validation catches them.  The
+        # lockstep path needs chunk*maxlen bits of slack, but only runs when
+        # chunk <= n/8, which bounds the pad by the real payload size (a
+        # forged chunk header cannot force a giant allocation); the scalar
+        # walk checks p < nbits each step, so a few bytes suffice.
+        nchunks = len(starts)
+        full = n // chunk
+        lockstep = full >= _MIN_LOCKSTEP_CHUNKS
+        pad = (chunk * maxlen) // 8 + 8 if lockstep else 8
+        src = np.zeros(body.size + pad, dtype=np.uint8)
+        src[: body.size] = body
+        v24 = src[:-2].astype(np.int32) << 16
+        v24 |= src[1:-1].astype(np.int32) << 8
+        v24 |= src[2:]
+        shbase = 24 - maxlen
+        mask = (1 << maxlen) - 1
         out = np.empty(n, dtype=np.int64)
-        pos = 0
-        tl = table_len  # local aliases for the hot loop
-        ts = table_sym
-        for i in range(n):
-            window = int(padded[pos : pos + maxlen] @ weights)
-            out[i] = ts[window]
-            step = tl[window]
-            if step == 0:
+        if lockstep:
+            # lockstep: one iteration decodes symbol i of every full chunk
+            pos = starts[:full].astype(np.int64)
+            cols = np.empty((chunk, full), dtype=np.int64)
+            bad = np.zeros(full, dtype=bool)
+            for i in range(chunk):
+                w = (v24[pos >> 3] >> (shbase - (pos & 7))) & mask
+                cols[i] = table_sym[w]
+                step = table_len[w]
+                bad |= step == 0
+                pos += step
+            if bad.any():
                 raise ValueError("corrupt Huffman stream")
-            pos += step
-        if pos != nbits:
-            raise ValueError("Huffman stream length mismatch")
+            expected = np.empty(full, dtype=np.int64)
+            expected[: full - 1] = starts[1:full].astype(np.int64)
+            expected[full - 1] = int(starts[full]) if full < nchunks else nbits
+            if not np.array_equal(pos, expected):
+                raise ValueError("Huffman stream length mismatch")
+            out[: full * chunk] = cols.T.ravel()
+            done = full * chunk
+            pos_tail = int(starts[full]) if full < nchunks else nbits
+        else:
+            done = 0
+            pos_tail = 0
+        # scalar walk for the tail (and for streams too small to lockstep)
+        if done < n:
+            v24l = v24
+            ts = table_sym
+            tl = table_len
+            p = pos_tail
+            for i in range(done, n):
+                if p >= nbits:
+                    raise ValueError("Huffman stream length mismatch")
+                w = int(v24l[p >> 3] >> (shbase - (p & 7))) & mask
+                out[i] = ts[w]
+                step = int(tl[w])
+                if step == 0:
+                    raise ValueError("corrupt Huffman stream")
+                p += step
+            if p != nbits:
+                raise ValueError("Huffman stream length mismatch")
         return out
+
+
+def _parse_container(payload: bytes) -> tuple:
+    """Validate the ``RHC2`` container and split it into its parts."""
+    if payload[:4] == b"RHC1":
+        raise ValueError(
+            "legacy RHC1 Huffman stream: re-encode with the current codec "
+            "(or decode with repro.encoding.reference.reference_huffman_decode)"
+        )
+    if len(payload) < 4 or payload[:4] != _MAGIC:
+        raise ValueError("bad magic in Huffman stream")
+    if len(payload) < _HEADER_BYTES:
+        raise ValueError("truncated Huffman stream: incomplete header")
+    n, asize, nbits, chunk, nchunks = _HEADER.unpack_from(payload, 4)
+    if n == 0:
+        return 0, None, None, None, 0, 0, None
+    if asize == 0:
+        raise ValueError("corrupt Huffman stream: empty alphabet")
+    if asize > n:
+        raise ValueError("corrupt Huffman stream: alphabet larger than symbol count")
+    if chunk == 0:
+        raise ValueError("corrupt Huffman stream: zero chunk size")
+    if nchunks != (n + chunk - 1) // chunk:
+        raise ValueError("corrupt Huffman stream: chunk count mismatch")
+    if nbits < n:
+        raise ValueError("corrupt Huffman stream: fewer bits than symbols")
+    off = _HEADER_BYTES
+    table_end = off + 9 * asize + 8 * nchunks
+    if len(payload) < table_end:
+        raise ValueError("truncated Huffman stream: code table extends past payload")
+    alphabet = np.frombuffer(payload, dtype=np.int64, count=asize, offset=off)
+    off += 8 * asize
+    lengths = np.frombuffer(payload, dtype=np.uint8, count=asize, offset=off).astype(
+        np.int64
+    )
+    off += asize
+    starts = np.frombuffer(payload, dtype="<u8", count=nchunks, offset=off)
+    off += 8 * nchunks
+    if int(lengths.min()) < 1:
+        raise ValueError("corrupt Huffman stream: zero-length code")
+    if int(lengths.max()) > _MAX_CODE_LEN:
+        raise ValueError(
+            f"corrupt Huffman stream: code length exceeds {_MAX_CODE_LEN}"
+        )
+    if int(starts[0]) != 0:
+        raise ValueError("corrupt Huffman stream: first chunk offset not zero")
+    if nchunks > 1 and not np.all(starts[1:] > starts[:-1]):
+        raise ValueError("corrupt Huffman stream: chunk offsets not increasing")
+    if int(starts[-1]) >= nbits:
+        raise ValueError("corrupt Huffman stream: chunk offset past bit count")
+    avail_bits = 8 * (len(payload) - off)
+    if nbits > avail_bits:
+        raise ValueError(
+            "truncated Huffman stream: payload shorter than declared bit count"
+        )
+    body = np.frombuffer(payload, dtype=np.uint8, offset=off)
+    return n, alphabet, lengths, starts, nbits, chunk, body

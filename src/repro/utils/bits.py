@@ -74,6 +74,113 @@ def unpack_bits(payload: bytes, nbits: int) -> np.ndarray:
     return bits[:nbits]
 
 
+# -- bitplane kernels ---------------------------------------------------------
+#
+# The bitplane codec needs two bulk primitives: scatter the bits of n
+# fixed-point magnitudes into P packed plane rows (encode) and gather plane
+# rows back into magnitudes (decode).  Both run byte-at-a-time: a magnitude
+# is viewed as its big-endian bytes, so each byte column feeds exactly 8
+# planes and the per-plane work is a single uint8 mask + packbits
+# (packbits treats any nonzero as a set bit, so no shift is needed).
+
+#: Hacker's-Delight 8x8 bit-matrix transpose masks (uint64 = 8 byte lanes).
+_T8_M1 = np.uint64(0x00AA00AA00AA00AA)
+_T8_M2 = np.uint64(0x0000CCCC0000CCCC)
+_T8_M3 = np.uint64(0x00000000F0F0F0F0)
+
+
+def element_byte_width(num_planes: int) -> int:
+    """Smallest power-of-two byte width holding *num_planes* bits (1/2/4/8)."""
+    if num_planes <= 8:
+        return 1
+    if num_planes <= 16:
+        return 2
+    if num_planes <= 32:
+        return 4
+    return 8
+
+
+def transpose_bit_blocks(words: np.ndarray) -> np.ndarray:
+    """Transpose each uint64 element in place, viewed as an 8x8 bit matrix."""
+    t = ((words >> np.uint64(7)) ^ words) & _T8_M1
+    words ^= t
+    words ^= t << np.uint64(7)
+    t = ((words >> np.uint64(14)) ^ words) & _T8_M2
+    words ^= t
+    words ^= t << np.uint64(14)
+    t = ((words >> np.uint64(28)) ^ words) & _T8_M3
+    words ^= t
+    words ^= t << np.uint64(28)
+    return words
+
+
+def pack_bitplanes(mags: np.ndarray, num_planes: int) -> np.ndarray:
+    """Scatter uint64 magnitudes into packed bitplane rows, MSB plane first.
+
+    Returns a ``(num_planes, ceil(n / 8))`` uint8 array; row ``p`` is
+    ``packbits`` of bit ``num_planes - 1 - p`` of every magnitude —
+    bit-identical to packing each plane in a Python loop, at a fraction
+    of the memory traffic (one uint8 pass per plane instead of a uint64
+    shift/mask/cast chain).
+    """
+    mags = np.ascontiguousarray(mags, dtype=np.uint64)
+    n = mags.size
+    P = int(num_planes)
+    W = element_byte_width(P)
+    cols = mags.astype(f">u{W}").view(np.uint8).reshape(n, W)
+    out = np.empty((P, (n + 7) // 8), dtype=np.uint8)
+    col = None
+    col_idx = -1
+    for p in range(P):
+        bitpos = 8 * W - P + p  # bit index from the top of the W-byte word
+        j = bitpos >> 3
+        if j != col_idx:
+            col = np.ascontiguousarray(cols[:, j])
+            col_idx = j
+        mask = np.uint8(1 << (7 - (bitpos & 7)))
+        out[p] = np.packbits(col & mask)
+    return out
+
+
+def accumulate_bitplanes(rows, num_planes: int, out_bytes: np.ndarray) -> None:
+    """OR packed bitplane rows into a big-endian magnitude byte matrix.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of ``(plane_index, packed_row)`` pairs, ``packed_row``
+        being the uint8 output of :func:`numpy.packbits` over that
+        plane's bits (``ceil(n / 8)`` bytes).
+    num_planes:
+        Total plane count ``P`` of the stream.
+    out_bytes:
+        ``(n, element_byte_width(P))`` uint8 array holding the big-endian
+        bytes of the accumulated magnitudes; updated in place.
+
+    The planes of one byte column are gathered with an 8x8 bit-matrix
+    transpose over uint64 words (8 byte lanes at a time), so the cost is
+    a handful of vector passes per byte column instead of a uint64
+    shift/OR chain per plane.
+    """
+    n, W = out_bytes.shape
+    P = int(num_planes)
+    nb = (n + 7) // 8
+    by_col: dict = {}
+    for p, row in rows:
+        bitpos = 8 * W - P + int(p)
+        by_col.setdefault(bitpos >> 3, []).append((bitpos & 7, row))
+    for j, entries in by_col.items():
+        grp = np.zeros((8, nb), dtype=np.uint8)
+        for r, row in entries:
+            grp[r] = row
+        # little-endian word build (reversed lanes) + transpose puts element
+        # i's byte at reversed position i%8 within word i//8
+        words = np.ascontiguousarray(grp[::-1].T).view(np.uint64).ravel()
+        transpose_bit_blocks(words)
+        col = words.view(np.uint8).reshape(-1, 8)[:, ::-1].reshape(-1)[:n]
+        np.bitwise_or(out_bytes[:, j], col, out=out_bytes[:, j])
+
+
 def pack_uint_field(values: np.ndarray, width: int) -> bytes:
     """Pack unsigned integers of fixed bit *width* (1..64), MSB-first."""
     values = np.asarray(values, dtype=np.uint64)

@@ -87,6 +87,44 @@ class TestReaderPlanning:
         assert np.max(np.abs(rec - data)) <= reader.current_error_bound * (1 + 1e-9)
 
 
+class TestPlanTable:
+    def test_plan_matches_greedy_reference_on_ladder(self):
+        from repro.encoding.reference import reference_plane_plan
+
+        ref = PMGARDRefactorer(basis="hierarchical", num_planes=40).refactor(field())
+        reader = ref.reader()
+        planned_ref = [0] * len(ref.streams)
+        scale = float(np.max(np.abs(field())))
+        for t in range(1, 12):
+            eb = scale * 10.0 ** (-t)
+            planned_ref = reference_plane_plan(ref.streams, ref.kappa, eb, planned_ref)
+            assert reader._plan(eb) == planned_ref
+            reader.request(eb)
+            assert [d.planes_consumed for d in reader._decoders] == planned_ref
+
+    def test_plan_table_cached_and_shared_across_readers(self):
+        ref = PMGARDRefactorer().refactor(field())
+        t1 = ref.plan_table()
+        assert ref.plan_table() is t1
+        r1, r2 = ref.reader(), ref.reader()
+        r1.request(1e-3)
+        r2.request(1e-3)
+        assert ref.plan_table() is t1
+        assert [d.planes_consumed for d in r1._decoders] == [
+            d.planes_consumed for d in r2._decoders
+        ]
+
+    def test_loosening_after_tightening_fetches_nothing(self):
+        ref = PMGARDRefactorer().refactor(field())
+        reader = ref.reader()
+        reader.request(1e-4)
+        spent = reader.bytes_retrieved
+        consumed = [d.planes_consumed for d in reader._decoders]
+        reader.request(1e-1)  # looser bound: readers never regress
+        assert reader.bytes_retrieved == spent
+        assert [d.planes_consumed for d in reader._decoders] == consumed
+
+
 class TestTinyInputs:
     def test_smaller_than_min_size(self):
         data = np.array([1.0, 2.0, 3.0])

@@ -104,6 +104,95 @@ class TestProgressiveGuarantee:
         assert np.max(np.abs(rec - coeffs)) <= bound * (1 + 1e-9) + 1e-300
 
 
+class TestAdvanceScheduling:
+    """advance_to with non-monotone / repeated targets, and byte accounting
+    that matches what decoders actually charge."""
+
+    def _stream(self, n=700, num_planes=24, seed=5):
+        rng = np.random.default_rng(seed)
+        return BitplaneEncoder(num_planes=num_planes).encode(rng.normal(size=n))
+
+    def test_non_monotone_targets_are_free_and_stateless(self):
+        stream = self._stream()
+        dec = BitplaneDecoder(stream)
+        dec.advance_to(10)
+        rec10 = dec.reconstruct().copy()
+        # going backwards fetches nothing and changes nothing
+        assert dec.advance_to(4) == 0
+        assert dec.advance_to(0) == 0
+        assert dec.advance_to(-3) == 0
+        assert dec.planes_consumed == 10
+        np.testing.assert_array_equal(dec.reconstruct(), rec10)
+        # resuming forward only charges the gap
+        assert dec.advance_to(12) == stream.segment_bytes(10, 12)
+
+    def test_repeated_target_charges_once(self):
+        stream = self._stream()
+        dec = BitplaneDecoder(stream)
+        first = dec.advance_to(7)
+        assert first == stream.segment_bytes(0, 7)
+        for _ in range(3):
+            assert dec.advance_to(7) == 0
+        assert dec.planes_consumed == 7
+
+    def test_target_beyond_num_planes_clamps(self):
+        stream = self._stream(num_planes=16)
+        dec = BitplaneDecoder(stream)
+        charged = dec.advance_to(10_000)
+        assert dec.planes_consumed == 16
+        assert charged == stream.total_bytes
+        assert dec.advance_to(10_000) == 0
+
+    def test_zero_group_any_schedule_is_free(self):
+        stream = BitplaneEncoder(num_planes=12).encode(np.zeros(40))
+        dec = BitplaneDecoder(stream)
+        for target in (5, 2, 12, 100, -1):
+            assert dec.advance_to(target) == 0
+        np.testing.assert_array_equal(dec.reconstruct(), np.zeros(40))
+
+    def test_arbitrary_schedule_totals_match_segment_bytes(self):
+        stream = self._stream(num_planes=32)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            schedule = rng.integers(0, 40, size=12)
+            dec = BitplaneDecoder(stream)
+            charged = sum(dec.advance_to(int(t)) for t in schedule)
+            reached = dec.planes_consumed
+            assert charged == stream.segment_bytes(0, reached)
+            # per-plane segment sizes tile the total exactly
+            assert charged == (
+                len(stream.sign_segment)
+                + sum(len(stream.plane_segments[p]) for p in range(reached))
+                if reached
+                else 0
+            )
+
+    def test_state_identical_to_single_shot(self):
+        stream = self._stream(num_planes=20)
+        stepped = BitplaneDecoder(stream)
+        for t in (3, 1, 9, 9, 15, 2, 20):
+            stepped.advance_to(t)
+        oneshot = BitplaneDecoder(stream)
+        oneshot.advance_to(20)
+        np.testing.assert_array_equal(stepped.reconstruct(), oneshot.reconstruct())
+        np.testing.assert_array_equal(stepped._mags, oneshot._mags)
+
+
+class TestLegacySegments:
+    def test_pre_framing_zlib_archives_still_decode(self):
+        # archives written before the raw/compressed marker byte existed
+        # carry whole-segment zlib payloads; the decoder must fall back
+        from repro.encoding.reference import reference_bitplane_encode
+
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=300)
+        legacy = reference_bitplane_encode(data, num_planes=24)
+        dec = BitplaneDecoder(legacy)
+        dec.advance_to(24)
+        rec = dec.reconstruct()
+        assert np.max(np.abs(rec - data)) <= legacy.error_bound(24) * (1 + 1e-12)
+
+
 class TestSizeAccounting:
     def test_total_bytes_consistent(self):
         rng = np.random.default_rng(3)

@@ -86,3 +86,116 @@ class TestCodecRoundtrip:
         sym = np.array(values, dtype=np.int64)
         codec = HuffmanCodec()
         np.testing.assert_array_equal(codec.decode(codec.encode(sym)), sym)
+
+
+class TestCorruptStreams:
+    """Truncated/corrupt payloads must raise a clear ValueError, never an
+    opaque NumPy shape/index error."""
+
+    def _payload(self, n=5000, seed=0):
+        rng = np.random.default_rng(seed)
+        sym = np.rint(rng.normal(scale=5, size=n)).astype(np.int64)
+        return HuffmanCodec().encode(sym), sym
+
+    def _decode(self, payload):
+        return HuffmanCodec().decode(payload)
+
+    def test_truncated_header(self):
+        payload, _ = self._payload()
+        with pytest.raises(ValueError, match="incomplete header"):
+            self._decode(payload[:20])
+
+    def test_truncated_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            self._decode(b"RH")
+
+    def test_truncated_code_table(self):
+        payload, _ = self._payload()
+        with pytest.raises(ValueError, match="code table extends past payload"):
+            self._decode(payload[:40])
+
+    def test_truncated_payload_bits(self):
+        payload, _ = self._payload()
+        with pytest.raises(ValueError, match="shorter than declared bit count"):
+            self._decode(payload[:-50])
+
+    def test_every_truncation_point_is_a_clean_error(self):
+        payload, sym = self._payload(n=600)
+        for cut in range(0, len(payload), 97):
+            with pytest.raises(ValueError):
+                self._decode(payload[:cut])
+
+    def test_zero_length_code_rejected(self):
+        payload, _ = self._payload()
+        buf = bytearray(payload)
+        asize = int(np.frombuffer(payload, dtype="<u8", count=1, offset=12)[0])
+        lengths_off = 36 + 8 * asize
+        buf[lengths_off] = 0
+        with pytest.raises(ValueError, match="zero-length code"):
+            self._decode(bytes(buf))
+
+    def test_oversized_code_length_rejected(self):
+        payload, _ = self._payload()
+        buf = bytearray(payload)
+        asize = int(np.frombuffer(payload, dtype="<u8", count=1, offset=12)[0])
+        buf[36 + 8 * asize] = 40
+        with pytest.raises(ValueError, match="code length exceeds"):
+            self._decode(bytes(buf))
+
+    def test_oversubscribed_table_rejected(self):
+        payload, _ = self._payload()
+        buf = bytearray(payload)
+        asize = int(np.frombuffer(payload, dtype="<u8", count=1, offset=12)[0])
+        lengths_off = 36 + 8 * asize
+        # all-1-bit lengths violate Kraft for any alphabet > 2
+        for i in range(asize):
+            buf[lengths_off + i] = 1
+        with pytest.raises(ValueError, match="over-subscribed code table"):
+            self._decode(bytes(buf))
+
+    def test_corrupt_chunk_offsets_rejected(self):
+        payload, _ = self._payload()
+        buf = bytearray(payload)
+        asize = int(np.frombuffer(payload, dtype="<u8", count=1, offset=12)[0])
+        starts_off = 36 + 9 * asize
+        buf[starts_off + 8 : starts_off + 16] = b"\x00" * 8  # duplicate offset 0
+        with pytest.raises(ValueError, match="chunk offsets not increasing"):
+            self._decode(bytes(buf))
+
+    def test_flipped_payload_bits_fail_loudly_or_roundtrip_length(self):
+        # single bit flips either decode to a stream caught by the chunk /
+        # length validation or (rarely) to a same-length symbol swap; they
+        # must never raise a non-ValueError
+        payload, sym = self._payload(n=3000, seed=3)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            buf = bytearray(payload)
+            i = int(rng.integers(len(payload) - 64, len(payload)))
+            buf[i] ^= 1 << int(rng.integers(0, 8))
+            try:
+                out = self._decode(bytes(buf))
+            except ValueError:
+                continue
+            assert out.size == sym.size
+
+    def test_chunk_count_mismatch_rejected(self):
+        payload, _ = self._payload()
+        buf = bytearray(payload)
+        buf[28:32] = (99).to_bytes(4, "little")  # bogus chunk size
+        with pytest.raises(ValueError, match="chunk count mismatch"):
+            self._decode(bytes(buf))
+
+    def test_forged_huge_chunk_size_cannot_force_giant_allocation(self):
+        # a consistent header with chunk >> n must not drive the decode-side
+        # padding allocation; the stream falls back to the scalar walk
+        rng = np.random.default_rng(1)
+        sym = rng.integers(-3, 4, size=50).astype(np.int64)
+        payload = HuffmanCodec(chunk_size=2**32 - 1).encode(sym)
+        np.testing.assert_array_equal(self._decode(payload), sym)
+
+    def test_legacy_rhc1_stream_gets_clear_error(self):
+        from repro.encoding.reference import reference_huffman_encode
+
+        legacy = reference_huffman_encode(np.arange(50, dtype=np.int64) % 5)
+        with pytest.raises(ValueError, match="legacy RHC1"):
+            self._decode(legacy)

@@ -29,10 +29,13 @@ class TestCorruptedStreams:
 
     def test_bitplane_corrupted_plane(self):
         stream = BitplaneEncoder(num_planes=16).encode(np.linspace(-1, 1, 64))
+        # bad marker byte -> ValueError; bad compressed body -> zlib.error
         stream.plane_segments[0] = b"not zlib data"
-        dec = BitplaneDecoder(stream)
+        with pytest.raises(ValueError, match="segment marker"):
+            BitplaneDecoder(stream).advance_to(4)
+        stream.plane_segments[0] = b"\x01not zlib data"
         with pytest.raises(zlib.error):
-            dec.advance_to(4)
+            BitplaneDecoder(stream).advance_to(4)
 
     def test_huffman_truncated(self):
         codec = HuffmanCodec()
