@@ -1,6 +1,6 @@
 """Command-line interface: archive, inspect, retrieve, and serve datasets.
 
-Wires the whole pipeline into five subcommands::
+Wires the whole pipeline into six subcommands::
 
     python -m repro.cli archive  --out ar/ --method pmgard_hb p=pressure.npy d=density.npy
     python -m repro.cli info     --archive ar/
@@ -9,16 +9,21 @@ Wires the whole pipeline into five subcommands::
     python -m repro.cli serve    --archive ar/ --port 7117
     python -m repro.cli client   --port 7117 --qoi product --fields p,d \\
         --tolerance 1e-4 --out rec/
+    python -m repro.cli stats    --port 7117          # or: --archive ar/
 
 ``archive`` refactors each ``name=path.npy`` variable into a
 fragment-addressable on-disk archive (one file per fragment; pass
 ``--sharded`` for the hashed fan-out layout) and records the dataset
 manifest (shapes, value ranges) that Algorithm 2 needs.  ``retrieve``
-runs the QoI-preserved retrieval loop against the archive and writes the
+runs the QoI-preserved retrieval loop against the archive — lazily
+loaded and driven by the pipelined engine (``--pipeline-depth`` /
+``--fetch-workers`` tune it, ``--serial`` disables it) — and writes the
 reconstructed variables plus a JSON report of the guaranteed errors.
 ``serve`` exposes the archive to many concurrent clients over TCP behind
 a shared fragment cache; ``client`` runs one retrieval against a running
-server.
+server; ``stats`` prints either a running server's live counters (store
+reads/round trips, cache hit/miss/eviction rates) or a static summary of
+an archive directory.
 
 QoI specs: ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
 (pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
@@ -34,6 +39,7 @@ import sys
 import numpy as np
 
 from repro.compressors.base import make_refactorer
+from repro.core.pipeline import DEFAULT_MAX_WORKERS, DEFAULT_PIPELINE_DEPTH
 from repro.core.qois import qoi_from_spec
 from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
 from repro.service.server import RetrievalServer, ServiceClient
@@ -100,8 +106,14 @@ def _cmd_retrieve(args) -> int:
     if missing:
         raise SystemExit(f"fields not in archive: {missing}")
     archive = Archive(store)
-    refactored = {name: archive.load(name) for name in fields}
-    retriever = QoIRetriever(refactored, manifest.value_ranges())
+    lazy = not args.serial
+    refactored = {name: archive.load(name, lazy=lazy) for name in fields}
+    retriever = QoIRetriever(
+        refactored,
+        manifest.value_ranges(),
+        pipeline_depth=args.pipeline_depth,
+        max_workers=args.fetch_workers,
+    )
     request = QoIRequest(args.qoi, qoi, args.tolerance, args.qoi_range)
     result = retriever.retrieve([request])
 
@@ -127,9 +139,51 @@ def _cmd_retrieve(args) -> int:
     return 0 if result.all_satisfied else 2
 
 
+def _cmd_stats(args) -> int:
+    if args.archive is not None:
+        store = open_store(args.archive)
+        archive = Archive(store)
+        variables = archive.variables()
+        print(f"archive: {args.archive} ({type(store).__name__})")
+        print(f"  variables: {len(variables)}")
+        print(f"  fragments: {len(store.keys())}")
+        print(f"  archived bytes: {store.nbytes()}")
+        for name in variables:
+            print(f"    {name}: {len(store.segments(name))} segment(s), "
+                  f"{store.nbytes(name)} B")
+        return 0
+    try:
+        client_ctx = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {exc} "
+            f"(pass --archive DIR for a static archive summary)"
+        )
+    with client_ctx as client:
+        stats = client.stats()
+    cache = stats["cache"]
+    print(f"sessions: {stats['sessions_active']} active / "
+          f"{stats['sessions_opened']} opened; "
+          f"variables loaded: {stats['variables_loaded']}")
+    print(f"store: {stats['store_reads']} fragment read(s) in "
+          f"{stats['store_round_trips']} round trip(s), "
+          f"{stats['store_bytes_read']} B")
+    requests = cache["hits"] + cache["misses"]
+    print(f"cache: {cache['hits']} hit(s) / {cache['misses']} miss(es) "
+          f"({100.0 * cache['hit_rate']:.1f}% of {requests} request(s)), "
+          f"{cache['evictions']} eviction(s)")
+    print(f"  resident: {cache['current_bytes']} / {cache['capacity_bytes']} B; "
+          f"served {cache['bytes_from_cache']} B from cache, "
+          f"{cache['bytes_from_store']} B from store")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     service = RetrievalService.open(
-        args.archive, cache_bytes=int(args.cache_mb) << 20
+        args.archive,
+        cache_bytes=int(args.cache_mb) << 20,
+        pipeline_depth=args.pipeline_depth,
+        max_workers=args.fetch_workers,
     )
     server = RetrievalServer(service, args.host, args.port)
     host, port = server.address
@@ -218,6 +272,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_ret.add_argument("--qoi-range", type=float, default=1.0,
                        help="QoI value range; 1.0 means --tolerance is absolute")
     p_ret.add_argument("--out", required=True, help="output directory")
+    p_ret.add_argument("--pipeline-depth", type=int, default=DEFAULT_PIPELINE_DEPTH,
+                       help="speculative round-prefetches in flight (0 disables)")
+    p_ret.add_argument("--fetch-workers", type=int, default=DEFAULT_MAX_WORKERS,
+                       help="fetch-stage threads (0 fetches synchronously)")
+    p_ret.add_argument("--serial", action="store_true",
+                       help="eager per-fragment loading (the pre-pipeline behavior)")
     p_ret.set_defaults(func=_cmd_retrieve)
 
     p_serve = sub.add_parser(
@@ -230,7 +290,21 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-mb", type=int,
                          default=DEFAULT_CACHE_BYTES >> 20,
                          help="shared fragment-cache budget in MiB")
+    p_serve.add_argument("--pipeline-depth", type=int, default=DEFAULT_PIPELINE_DEPTH,
+                         help="per-session speculative round-prefetches in flight")
+    p_serve.add_argument("--fetch-workers", type=int, default=DEFAULT_MAX_WORKERS,
+                         help="per-session fetch-stage threads")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats", help="store/cache counters of a server or an archive"
+    )
+    p_stats.add_argument("--archive", default=None,
+                         help="print a static summary of this archive directory")
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=7117,
+                         help="query a running server's live counters")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_client = sub.add_parser(
         "client", help="QoI-preserved retrieval against a running server"
@@ -252,7 +326,16 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = make_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into e.g. `head`; exiting quietly is the polite
+        # Unix behavior (stderr still works for real errors)
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -46,6 +46,20 @@ class ProgressiveReader(abc.ABC):
         reconstruction is returned; check :attr:`current_error_bound`.
         """
 
+    def plan_segments(self, eb: float) -> list | None:
+        """Archive segments a ``request(eb)`` would consume from here.
+
+        The pipelined retrieval engine calls this *before* ``request`` to
+        batch-prefetch a whole round's fragments in one store pass.  The
+        plan must be computed from metadata alone (no payload access, no
+        state mutation) and name segments with the canonical
+        :mod:`repro.utils.fragment_keys` vocabulary.  Readers that cannot plan
+        return ``None``; their fragments are simply fetched on demand
+        during decode, which is always correct — planning is purely a
+        batching optimization.
+        """
+        return None
+
     @abc.abstractmethod
     def reconstruct(self) -> np.ndarray:
         """Current reconstruction without fetching anything new."""

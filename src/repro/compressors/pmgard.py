@@ -28,6 +28,11 @@ import numpy as np
 
 from repro.compressors.base import ProgressiveReader, Refactored, Refactorer
 from repro.encoding.bitplane import BitplaneDecoder, BitplaneEncoder
+from repro.utils.fragment_keys import (
+    COARSE_SEGMENT,
+    pmgard_plane_segment,
+    pmgard_signs_segment,
+)
 from repro.transforms.multilevel import HIERARCHICAL, MultilevelTransform
 from repro.utils.validation import as_float_array, check_error_bound
 
@@ -201,6 +206,25 @@ class PMGARDReader(ProgressiveReader):
             planned[worst] += 1
             bounds[worst] = kappa * decs[worst].stream.error_bound(planned[worst])
         return planned
+
+    def plan_segments(self, eb: float) -> list:
+        """Archive segments ``request(eb)`` would consume (no fetching)."""
+        eb = check_error_bound(eb)
+        segments = []
+        if self._coarse is None:
+            segments.append(COARSE_SEGMENT)
+        if self._decoders:
+            for level, k in enumerate(self._plan(eb)):
+                dec = self._decoders[level]
+                if dec.stream.exponent is None or k <= dec.planes_consumed:
+                    continue
+                if dec.planes_consumed == 0:
+                    segments.append(pmgard_signs_segment(level))
+                segments.extend(
+                    pmgard_plane_segment(level, p)
+                    for p in range(dec.planes_consumed, k)
+                )
+        return segments
 
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.compressors.base import ProgressiveReader, Refactored, Refactorer
 from repro.compressors.sz3 import SZ3Blob, SZ3Compressor
+from repro.utils.fragment_keys import LOSSLESS_SEGMENT, snapshot_segment
 from repro.utils.validation import as_float_array, check_error_bound
 
 DEFAULT_RELATIVE_BOUNDS = tuple(10.0 ** (-i) for i in range(1, 11))
@@ -27,22 +28,59 @@ def _value_range(data: np.ndarray) -> float:
     return rng if rng > 0 else 1.0
 
 
-class PSZ3Refactored(Refactored):
-    """Snapshot ladder for one variable."""
+class SnapshotLadderRefactored(Refactored):
+    """Shared state of the snapshot-chain compressors (PSZ3, PSZ3-delta).
 
-    def __init__(self, shape, ebs, blobs, lossless_payload, compressor):
+    ``lossless_payload`` may be raw bytes or — for archive-backed lazy
+    loads — a zero-argument callable producing them; readers go through
+    :meth:`lossless_bytes` / :meth:`lossless_nbytes` so the (large) exact
+    tail is only pulled from the store when a request actually needs it.
+    """
+
+    def __init__(self, shape, ebs, blobs, lossless_payload, compressor,
+                 lossless_nbytes: int | None = None):
         self.shape = tuple(shape)
         self.ebs = list(ebs)  # absolute bounds, decreasing
         self.blobs = list(blobs)
         self.lossless_payload = lossless_payload
         self._compressor = compressor
+        self._lossless_nbytes = lossless_nbytes
+
+    def lossless_bytes(self) -> bytes:
+        """The exact tail's payload, materializing a lazy loader once."""
+        payload = self.lossless_payload
+        if callable(payload):
+            payload = payload()
+            self.lossless_payload = payload
+        return payload
+
+    def lossless_nbytes(self) -> int:
+        """Byte size of the exact tail without forcing a lazy fetch."""
+        if self._lossless_nbytes is not None:
+            return self._lossless_nbytes
+        return len(self.lossless_bytes())
+
+    def select_level(self, eb: float):
+        """Coarsest ladder index satisfying *eb*.
+
+        ``None`` means only the lossless tail can satisfy the request;
+        without a tail the deepest (best available) index is returned.
+        """
+        level = next((i for i, e in enumerate(self.ebs) if e <= eb), None)
+        if level is None and self.lossless_payload is None:
+            level = len(self.ebs) - 1
+        return level
 
     @property
     def total_bytes(self) -> int:
         total = sum(b.nbytes for b in self.blobs)
         if self.lossless_payload is not None:
-            total += len(self.lossless_payload)
+            total += self.lossless_nbytes()
         return total
+
+
+class PSZ3Refactored(SnapshotLadderRefactored):
+    """Snapshot ladder for one variable (independent snapshots)."""
 
     def reader(self) -> "PSZ3Reader":
         return PSZ3Reader(self)
@@ -66,25 +104,31 @@ class PSZ3Reader(ProgressiveReader):
     def current_error_bound(self) -> float:
         return self._bound
 
+    def plan_segments(self, eb: float) -> list:
+        """Archive segments ``request(eb)`` would consume (no fetching)."""
+        eb = check_error_bound(eb)
+        if eb >= self._bound:
+            return []
+        snap = self._ref.select_level(eb)
+        if snap is None:
+            return [] if "lossless" in self._fetched else [LOSSLESS_SEGMENT]
+        return [] if snap in self._fetched else [snapshot_segment(snap)]
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         if eb >= self._bound:
             return self.reconstruct()
         ref = self._ref
-        # coarsest snapshot whose bound satisfies the request
-        snap = next((i for i, e in enumerate(ref.ebs) if e <= eb), None)
+        snap = ref.select_level(eb)
         if snap is None:
             # only the lossless tail can satisfy this request
-            if ref.lossless_payload is None:
-                snap = len(ref.ebs) - 1  # best available
-            else:
-                if "lossless" not in self._fetched:
-                    self._bytes += len(ref.lossless_payload)
-                    self._fetched.add("lossless")
-                raw = zlib.decompress(ref.lossless_payload)
-                self._rec = np.frombuffer(raw, dtype=np.float64).reshape(ref.shape).copy()
-                self._bound = 0.0
-                return self._rec
+            if "lossless" not in self._fetched:
+                self._bytes += ref.lossless_nbytes()
+                self._fetched.add("lossless")
+            raw = zlib.decompress(ref.lossless_bytes())
+            self._rec = np.frombuffer(raw, dtype=np.float64).reshape(ref.shape).copy()
+            self._bound = 0.0
+            return self._rec
         if snap not in self._fetched:
             self._bytes += ref.blobs[snap].nbytes
             self._fetched.add(snap)

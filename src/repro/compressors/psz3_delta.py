@@ -15,28 +15,19 @@ import zlib
 
 import numpy as np
 
-from repro.compressors.base import ProgressiveReader, Refactored, Refactorer
-from repro.compressors.psz3 import DEFAULT_RELATIVE_BOUNDS, _value_range
+from repro.compressors.base import ProgressiveReader, Refactorer
+from repro.compressors.psz3 import (
+    DEFAULT_RELATIVE_BOUNDS,
+    SnapshotLadderRefactored,
+    _value_range,
+)
 from repro.compressors.sz3 import SZ3Compressor
+from repro.utils.fragment_keys import LOSSLESS_SEGMENT, snapshot_segment
 from repro.utils.validation import as_float_array, check_error_bound
 
 
-class PSZ3DeltaRefactored(Refactored):
-    """Residual chain for one variable."""
-
-    def __init__(self, shape, ebs, blobs, lossless_payload, compressor):
-        self.shape = tuple(shape)
-        self.ebs = list(ebs)
-        self.blobs = list(blobs)
-        self.lossless_payload = lossless_payload
-        self._compressor = compressor
-
-    @property
-    def total_bytes(self) -> int:
-        total = sum(b.nbytes for b in self.blobs)
-        if self.lossless_payload is not None:
-            total += len(self.lossless_payload)
-        return total
+class PSZ3DeltaRefactored(SnapshotLadderRefactored):
+    """Residual chain for one variable (snapshot *i* is a residual)."""
 
     def reader(self) -> "PSZ3DeltaReader":
         return PSZ3DeltaReader(self)
@@ -61,17 +52,24 @@ class PSZ3DeltaReader(ProgressiveReader):
     def current_error_bound(self) -> float:
         return self._bound
 
+    def plan_segments(self, eb: float) -> list:
+        """Archive segments ``request(eb)`` would consume (no fetching)."""
+        eb = check_error_bound(eb)
+        if eb >= self._bound:
+            return []
+        target = self._ref.select_level(eb)
+        if target is None:
+            return [] if self._lossless_used else [LOSSLESS_SEGMENT]
+        return [snapshot_segment(i) for i in range(self._consumed, target + 1)]
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         if eb >= self._bound:
             return self._rec
-        ref = self._ref
-        target = next((i for i, e in enumerate(ref.ebs) if e <= eb), None)
+        target = self._ref.select_level(eb)
         if target is None:
-            if ref.lossless_payload is None:
-                target = len(ref.ebs) - 1
-            else:
-                return self._fetch_lossless()
+            return self._fetch_lossless()
+        ref = self._ref
         for i in range(self._consumed, target + 1):
             self._bytes += ref.blobs[i].nbytes
             self._rec += ref._compressor.decompress(ref.blobs[i])
@@ -82,9 +80,9 @@ class PSZ3DeltaReader(ProgressiveReader):
     def _fetch_lossless(self) -> np.ndarray:
         ref = self._ref
         if not self._lossless_used:
-            self._bytes += len(ref.lossless_payload)
+            self._bytes += ref.lossless_nbytes()
             self._lossless_used = True
-        raw = zlib.decompress(ref.lossless_payload)
+        raw = zlib.decompress(ref.lossless_bytes())
         self._rec = np.frombuffer(raw, dtype=np.float64).reshape(ref.shape).copy()
         self._bound = 0.0
         return self._rec

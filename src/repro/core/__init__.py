@@ -13,6 +13,9 @@
 * :mod:`repro.core.masking` — the zero-value bitmap outlier filter (§V-A).
 * :mod:`repro.core.retrieval` — Algorithms 1 and 2: the QoI-preserved
   progressive retrieval loop.
+* :mod:`repro.core.pipeline` — the batched fetch/decode pipeline the
+  retrieval loop drives: coalesced ``get_many`` round fetches plus
+  bounded speculative prefetch of the predicted next round.
 """
 
 from repro.core.estimators import (
@@ -48,6 +51,7 @@ from repro.core.qois import (
 from repro.core.extensions import Abs, Clip, DomainReduce, Maximum, Minimum, MovingAverage
 from repro.core.assigner import assign_eb, reassign_eb
 from repro.core.masking import ZeroMask
+from repro.core.pipeline import FetchPipeline, PipelineConfig
 from repro.core.retrieval import (
     QoIRequest,
     QoIRetriever,
@@ -95,4 +99,6 @@ __all__ = [
     "QoIRetriever",
     "RetrievalSession",
     "refactor_dataset",
+    "PipelineConfig",
+    "FetchPipeline",
 ]

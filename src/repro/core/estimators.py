@@ -79,16 +79,23 @@ def bound_radical(x: np.ndarray, eps, c: float = 0.0) -> np.ndarray:
 
 
 def bound_add(eps_list, weights=None) -> np.ndarray:
-    """Theorem 4: bound for ``g(x) = sum a_i x_i`` is ``sum |a_i| eps_i``."""
+    """Theorem 4: bound for ``g(x) = sum a_i x_i`` is ``sum |a_i| eps_i``.
+
+    Vectorized across the summed variables: the per-variable eps arrays
+    are broadcast to a common shape, stacked, and contracted with
+    ``|a|`` in a single ``tensordot`` — no Python accumulation loop,
+    whatever the number of variables in the sum.
+    """
+    if not eps_list:
+        return None
     if weights is None:
         weights = [1.0] * len(eps_list)
     if len(weights) != len(eps_list):
         raise ValueError("weights/eps length mismatch")
-    total = None
-    for a, e in zip(weights, eps_list):
-        term = abs(float(a)) * np.asarray(e, dtype=np.float64)
-        total = term if total is None else total + term
-    return total
+    stack = np.stack(
+        np.broadcast_arrays(*(np.asarray(e, dtype=np.float64) for e in eps_list))
+    )
+    return np.tensordot(np.abs(np.asarray(weights, dtype=np.float64)), stack, axes=1)
 
 
 def bound_mul(x1, eps1, x2, eps2) -> np.ndarray:
@@ -98,6 +105,53 @@ def bound_mul(x1, eps1, x2, eps2) -> np.ndarray:
     eps1 = np.asarray(eps1, dtype=np.float64)
     eps2 = np.asarray(eps2, dtype=np.float64)
     return np.abs(x1) * eps2 + np.abs(x2) * eps1 + eps1 * eps2
+
+
+def seed_bounds(value_ranges, incidence, tolerances) -> np.ndarray:
+    """Algorithm 3 across *all* variables of a request set at once.
+
+    Parameters
+    ----------
+    value_ranges:
+        ``(V,)`` value range of each variable.
+    incidence:
+        ``(R, V)`` boolean matrix; entry ``[r, v]`` is True when request
+        *r*'s QoI involves variable *v*.
+    tolerances:
+        ``(R,)`` relative tolerance of each request.
+
+    Returns
+    -------
+    ``(V,)`` initial absolute bounds: each variable takes the most
+    conservative tolerance among the requests that involve it (capped at
+    the maximal relative bound 1.0), scaled by its value range — the
+    same arithmetic as per-variable :func:`repro.core.assigner.assign_eb`
+    but as two vector reductions instead of a Python loop per variable.
+    """
+    value_ranges = np.asarray(value_ranges, dtype=np.float64)
+    incidence = np.asarray(incidence, dtype=bool)
+    tolerances = np.asarray(tolerances, dtype=np.float64)
+    if np.any(tolerances <= 0.0):
+        bad = float(tolerances[tolerances <= 0.0][0])
+        raise ValueError(f"QoI tolerance must be > 0, got {bad}")
+    if np.any(~(value_ranges > 0.0)):
+        bad = float(value_ranges[~(value_ranges > 0.0)][0])
+        raise ValueError(f"value_range must be positive, got {bad}")
+    per_var = np.where(incidence, tolerances[:, None], np.inf).min(axis=0)
+    return np.minimum(per_var, 1.0) * value_ranges
+
+
+def fetch_mask(ebs, requested) -> np.ndarray:
+    """Which variables a retrieval round must (re-)request, vectorized.
+
+    ``ebs`` are the current target bounds, ``requested`` the bounds each
+    reader was last asked for (``nan`` = never asked this call).  A
+    reader only moves when asked for a strictly tighter bound, so the
+    round fetches exactly the never-asked or newly tightened variables.
+    """
+    ebs = np.asarray(ebs, dtype=np.float64)
+    requested = np.asarray(requested, dtype=np.float64)
+    return np.isnan(requested) | (ebs < requested)
 
 
 def bound_div(x1, eps1, x2, eps2) -> np.ndarray:

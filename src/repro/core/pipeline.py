@@ -1,0 +1,249 @@
+"""Fetch/decode pipeline of the batched progressive-retrieval engine.
+
+The QoI retrieval loop (Algorithm 2) alternates between *fetching*
+fragments and *computing* on them (decode, reconstruct, estimate).  Run
+naively, those phases strictly alternate: every round blocks on one
+``store.get`` per (variable, segment), decodes, and only then thinks
+about the next round.  This module provides the machinery that breaks the
+alternation:
+
+* :class:`FetchPipeline.submit_round` turns a round's *planned* fragment
+  set (every unsatisfied variable's ``plan_segments``) into a handful of
+  byte-balanced batches, each fetched with one coalesced
+  ``store.get_many`` on a worker thread.  The decode stage consumes
+  batches in *completion* order, so variable A decodes while variable B's
+  fragments are still in flight.
+* :meth:`FetchPipeline.speculate` prefetches the fragments the *next*
+  round is predicted to need (current bounds tightened by Algorithm 4's
+  reduction factor, up to ``pipeline_depth`` steps ahead) while the
+  current round's QoI estimation runs.  A speculative plan is always a
+  subset of the next *actual* round's fetch (Algorithm 4 tightens by at
+  least one factor of ``c``), so a batch the fetch stage has not reached
+  by the time that round lands simply dissolves into a no-op — and
+  :meth:`FetchPipeline.close` waits for whatever remains, which makes a
+  retrieval's total fetched-fragment set **deterministic**: identical
+  re-runs against a warm shared cache add zero store traffic.
+
+Speculation is invisible to correctness: it only warms the per-variable
+fragment memos (and, behind a service, the shared cache), while decode
+consumes exactly what the plan demands — so pipelined retrieval is
+bit-identical to serial retrieval, with the store traffic reshaped into
+few large round trips instead of many small ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.storage.archive import prefetch_plans
+
+#: Default number of speculative round-fetches that may be in flight.
+DEFAULT_PIPELINE_DEPTH = 1
+
+#: Default width of the fetch stage's thread pool.
+DEFAULT_MAX_WORKERS = 2
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of the retrieval fetch/decode pipeline.
+
+    ``pipeline_depth`` bounds the speculative prefetch queue (0 disables
+    speculation; fetches are still planned and coalesced per round).
+    ``max_workers`` sizes the fetch thread pool (0 disables threading
+    entirely — planned batches are fetched synchronously, which still
+    coalesces store round trips).
+    """
+
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
+    max_workers: int = DEFAULT_MAX_WORKERS
+
+    def __post_init__(self):
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+
+
+class FetchPipeline:
+    """Drives batched fragment fetches for one retrieval call.
+
+    Created per ``retrieve`` invocation (thread pools are cheap next to a
+    retrieval) and closed in a ``finally``; all public methods are called
+    from the retrieval thread only, while the pool threads touch nothing
+    but :func:`~repro.storage.archive.prefetch_plans` (whose fragment
+    sources are lock-protected).
+    """
+
+    def __init__(self, config: PipelineConfig):
+        self.config = config
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=config.max_workers,
+                thread_name_prefix="repro-fetch",
+            )
+            if config.max_workers > 0
+            else None
+        )
+        self._speculative: deque = deque()  # in-flight speculative futures
+        self._closed = False
+        #: Fragments fetched ahead of decode (accounting for benchmarks).
+        self.fragments_prefetched = 0
+
+    # -- round fetches --------------------------------------------------------
+
+    def submit_round(self, entries) -> list:
+        """Dispatch one round's planned fetches; returns decode groups.
+
+        *entries* is a list of ``(key, source, segments)`` triples — one
+        per variable needing fragments.  Entries are packed into at most
+        ``max_workers`` byte-balanced batches (planned bytes come from
+        the store index, so packing never touches payloads), each batch
+        becoming one coalesced ``get_many``.  The return value is a list
+        of ``(keys, future)`` groups for :meth:`iter_groups`; with
+        threading disabled the fetch happens inline and the groups carry
+        ``None`` futures.
+
+        Segments a previous round (or a speculative prefetch, or another
+        client sharing the source) already fetched are dropped here, on
+        the calling thread — a fully warmed plan costs no pool dispatch
+        at all.
+        """
+        entries = [
+            (key, source, source.missing(segments))
+            for key, source, segments in entries
+        ]
+        entries = [e for e in entries if e[2]]
+        if not entries:
+            return []
+        if self._pool is None:
+            prefetch_plans([(source, segments) for _, source, segments in entries])
+            return [([key for key, _, _ in entries], None)]
+        width = min(self.config.max_workers, len(entries))
+        bins = [[] for _ in range(width)]
+        sizes = [0] * width
+        sized = sorted(
+            (
+                (sum(source.size_of(s) for s in segments), key, source, segments)
+                for key, source, segments in entries
+            ),
+            key=lambda e: -e[0],
+        )
+        for nbytes, key, source, segments in sized:
+            slot = sizes.index(min(sizes))
+            bins[slot].append((key, source, segments))
+            sizes[slot] += nbytes
+        groups = []
+        for chunk in bins:
+            if not chunk:
+                continue
+            future = self._pool.submit(
+                prefetch_plans, [(source, segments) for _, source, segments in chunk]
+            )
+            groups.append(([key for key, _, _ in chunk], future))
+        return groups
+
+    def iter_groups(self, groups):
+        """Yield each group's keys as its fetch completes (decode order)."""
+        pending = {group[1]: group[0] for group in groups if group[1] is not None}
+        for keys, future in groups:
+            if future is None:
+                yield keys
+        while pending:
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                keys = pending.pop(future)
+                self.fragments_prefetched += future.result()
+                yield keys
+
+    # -- speculation ----------------------------------------------------------
+
+    def speculate(self, plans) -> bool:
+        """Queue a prefetch of a predicted future fragment set.
+
+        Returns False (and fetches nothing) when speculation is disabled
+        or every planned segment has already been fetched.  Submitted
+        batches are never dropped: by the time a lagging batch runs, the
+        actual round that superseded it has usually fetched its segments,
+        so it dissolves via the ``missing`` filter inside
+        :func:`~repro.storage.archive.prefetch_plans` — that, plus
+        :meth:`close` waiting for the remainder, keeps the run's total
+        store traffic deterministic.  Load failures are swallowed: a
+        speculative fragment that cannot be read will be re-requested
+        (and its error surfaced) by the decode stage if truly needed.
+        """
+        if (
+            self._closed
+            or self._pool is None
+            or self.config.pipeline_depth == 0
+        ):
+            return False
+        plans = [
+            (source, missing)
+            for source, segments in plans
+            for missing in [source.missing(segments)]
+            if missing
+        ]
+        if not plans:
+            return False
+        while self._speculative and self._speculative[0].done():
+            self._harvest(self._speculative.popleft())
+        self._speculative.append(self._pool.submit(self._safe_prefetch, plans))
+        return True
+
+    def _safe_prefetch(self, plans) -> int:
+        try:
+            return prefetch_plans(plans)
+        except Exception:
+            return 0
+
+    def _harvest(self, future) -> None:
+        try:
+            self.fragments_prefetched += future.result()
+        except Exception:
+            pass
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain speculation and release the pool.
+
+        Outstanding speculative batches are *completed*, not cancelled:
+        mid-run they have already dissolved into no-ops (their fragments
+        arrived with the superseding actual round), and the final round's
+        batch — the only one fetching genuinely unconsumed bytes — is
+        what makes identical re-runs against a shared cache read nothing
+        new from the store.  The wait is bounded by one batch per
+        ``pipeline_depth`` step, small next to the retrieval itself.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._speculative:
+            self._harvest(self._speculative.popleft())
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FetchPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def pipeline_sources(refactored: dict) -> dict:
+    """Extract the archive fragment sources of lazily loaded variables.
+
+    Maps variable name to its
+    :class:`~repro.storage.archive.FragmentSource` for every variable
+    that has one; eagerly loaded (or purely in-memory) representations
+    are absent, and the engine simply decodes them without prefetch.
+    """
+    sources = {}
+    for name, ref in refactored.items():
+        source = getattr(ref, "fragment_source", None)
+        if source is not None:
+            sources[name] = source
+    return sources

@@ -29,9 +29,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compressors.base import Refactored, Refactorer
-from repro.core.assigner import DEFAULT_REDUCTION_FACTOR, assign_eb, reassign_eb
+from repro.core.assigner import DEFAULT_REDUCTION_FACTOR, reassign_eb
+from repro.core.estimators import fetch_mask, seed_bounds
 from repro.core.expressions import QoI
 from repro.core.masking import ZeroMask
+from repro.core.pipeline import (
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_PIPELINE_DEPTH,
+    FetchPipeline,
+    PipelineConfig,
+    pipeline_sources,
+)
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive
 
@@ -132,6 +140,15 @@ class QoIRetriever:
         bitmap cost is charged to the retrieval size.
     reduction_factor:
         Algorithm 4's ``c`` (paper default 1.5).
+    pipeline_depth / max_workers:
+        Fetch/decode pipeline knobs (see
+        :class:`~repro.core.pipeline.PipelineConfig`), effective for
+        variables loaded lazily from an archive: each round's fragment
+        set is fetched in coalesced batches and the predicted next
+        round's set is prefetched while QoI estimation runs.  For purely
+        in-memory representations the pipeline is inert — the loop is
+        identical either way, which is what keeps pipelined and serial
+        retrieval bit-identical.
     """
 
     def __init__(
@@ -140,6 +157,8 @@ class QoIRetriever:
         value_ranges: dict,
         masks: dict | None = None,
         reduction_factor: float = DEFAULT_REDUCTION_FACTOR,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        max_workers: int = DEFAULT_MAX_WORKERS,
     ):
         for name in refactored:
             if name not in value_ranges:
@@ -149,6 +168,9 @@ class QoIRetriever:
         self._ranges = {k: float(v) for k, v in value_ranges.items()}
         self._masks = dict(masks or {})
         self.reduction_factor = float(reduction_factor)
+        self.pipeline = PipelineConfig(
+            pipeline_depth=int(pipeline_depth), max_workers=int(max_workers)
+        )
 
     def add_variable(
         self, name: str, refactored, value_range: float, mask=None
@@ -222,8 +244,18 @@ class RetrievalSession:
             return self._readers[variable].bytes_retrieved if variable in self._readers else 0
         return sum(r.bytes_retrieved for r in self._readers.values())
 
-    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
-        """Run the QoI-preserved retrieval loop for *requests*."""
+    def retrieve(
+        self,
+        requests,
+        max_rounds: int = 100,
+        pipeline_depth: int | None = None,
+        max_workers: int | None = None,
+    ) -> RetrievalResult:
+        """Run the QoI-preserved retrieval loop for *requests*.
+
+        ``pipeline_depth`` / ``max_workers`` override the retriever's
+        fetch/decode pipeline knobs for this call only.
+        """
         retriever = self._retriever
         requests = list(requests)
         if not requests:
@@ -235,41 +267,131 @@ class RetrievalSession:
         sw = Stopwatch()
 
         readers = {v: self._reader(v) for v in involved}
-        # Algorithm 3 seeds only variables this session has not tightened yet
-        for v in involved:
-            seed = assign_eb(
-                retriever._ranges[v],
-                [r.tolerance for r in requests if v in r.qoi.variables()],
-            )
-            self._ebs[v] = min(self._ebs.get(v, np.inf), seed)
+        # Algorithm 3, vectorized across variables; the minimum with the
+        # session's existing bounds seeds only what is not tightened yet
+        request_vars = [r.qoi.variables() for r in requests]
+        seeds = seed_bounds(
+            [retriever._ranges[v] for v in involved],
+            [[v in rv for v in involved] for rv in request_vars],
+            [r.tolerance for r in requests],
+        )
+        for v, seed in zip(involved, seeds):
+            self._ebs[v] = min(self._ebs.get(v, np.inf), float(seed))
         ebs = self._ebs
         achieved = self._achieved
+
+        config = retriever.pipeline
+        if pipeline_depth is not None or max_workers is not None:
+            config = PipelineConfig(
+                pipeline_depth=config.pipeline_depth if pipeline_depth is None else int(pipeline_depth),
+                max_workers=config.max_workers if max_workers is None else int(max_workers),
+            )
+        sources = pipeline_sources({v: retriever._refactored[v] for v in involved})
+        pipe = FetchPipeline(config) if sources else None
+        c = retriever.reduction_factor
 
         recon: dict = {}
         estimated = {r.name: np.inf for r in requests}
         satisfied = {r.name: False for r in requests}
         requested: dict = {}  # eb each reader was last asked for, this call
         rounds = 0
+        try:
+            result = self._run_rounds(
+                requests, involved, readers, ebs, achieved, requested,
+                recon, estimated, satisfied, sources, pipe, c, sw, max_rounds,
+            )
+        finally:
+            if pipe is not None:
+                pipe.close()
+        rounds = result
+
+        bytes_per_var = {v: readers[v].bytes_retrieved for v in involved}
+        for v, mask in retriever._masks.items():
+            if v in bytes_per_var:
+                bytes_per_var[v] += mask.nbytes
+        return RetrievalResult(
+            data=recon,
+            bytes_per_variable=bytes_per_var,
+            estimated_errors=estimated,
+            satisfied=satisfied,
+            rounds=rounds,
+            final_ebs={v: ebs[v] for v in involved},
+            stopwatch=sw,
+        )
+
+    def _run_rounds(
+        self, requests, involved, readers, ebs, achieved, requested,
+        recon, estimated, satisfied, sources, pipe, c, sw, max_rounds,
+    ) -> int:
+        """Algorithm 2's round loop over the fetch/decode pipeline."""
+        retriever = self._retriever
+        rounds = 0
+        progressed = False
+
+        def decode(v: str) -> None:
+            # a reader only moves when asked for a *tighter* bound, and by
+            # construction it finds the round's planned fragments already
+            # memoized (batch-fetched), so this stage is pure compute
+            nonlocal progressed
+            reader = readers[v]
+            rec = reader.request(ebs[v])
+            requested[v] = ebs[v]
+            bound = reader.current_error_bound
+            if bound < achieved[v]:
+                progressed = True
+            achieved[v] = bound
+            mask = retriever._masks.get(v)
+            recon[v] = mask.pin(rec.copy()) if mask is not None else rec
+
         while rounds < max_rounds:
             rounds += 1
             progressed = False
+            # plan the full fragment set of every variable this round
+            # must move — never asked, or tightened by Algorithm 4
+            need = fetch_mask(
+                [ebs[v] for v in involved],
+                [requested.get(v, np.nan) for v in involved],
+            )
+            fetch_vars = [v for v, m in zip(involved, need) if m]
             with sw.section("fetch"):
-                for v in involved:
-                    # a reader only moves when asked for a *tighter* bound;
-                    # re-requesting an unchanged eb is a no-op, so skip the
-                    # plan/reconstruct round-trip for variables Algorithm 4
-                    # did not touch this round
-                    if v in requested and not ebs[v] < requested[v]:
-                        continue
-                    reader = readers[v]
-                    rec = reader.request(ebs[v])
-                    requested[v] = ebs[v]
-                    bound = reader.current_error_bound
-                    if bound < achieved[v]:
-                        progressed = True
-                    achieved[v] = bound
-                    mask = retriever._masks.get(v)
-                    recon[v] = mask.pin(rec.copy()) if mask is not None else rec
+                decoded = set()
+                if pipe is not None:
+                    entries = []
+                    for v in fetch_vars:
+                        source = sources.get(v)
+                        if source is None:
+                            continue
+                        segments = readers[v].plan_segments(ebs[v])
+                        if segments is not None:
+                            entries.append((v, source, segments))
+                    # fetch stage: coalesced, byte-balanced get_many batches;
+                    # decode stage: consume variables in completion order
+                    for keys in pipe.iter_groups(pipe.submit_round(entries)):
+                        for v in keys:
+                            decode(v)
+                            decoded.add(v)
+                for v in fetch_vars:
+                    if v not in decoded:
+                        decode(v)
+            if pipe is not None:
+                # speculation: while estimation runs on this thread, the
+                # fetch stage pulls the fragments the next round(s) would
+                # need if Algorithm 4 tightens every bound by c**depth —
+                # a warm-up that cannot change any result
+                with sw.section("speculate"):
+                    for depth in range(1, pipe.config.pipeline_depth + 1):
+                        factor = c**depth
+                        plans = []
+                        for v in involved:
+                            source = sources.get(v)
+                            spec_eb = ebs[v] / factor
+                            if source is None or not spec_eb > 0.0:
+                                continue
+                            segments = readers[v].plan_segments(spec_eb)
+                            if segments:
+                                plans.append((source, segments))
+                        if not plans or not pipe.speculate(plans):
+                            break
 
             env = retriever._environment(recon, {v: achieved[v] for v in involved})
             all_met = True
@@ -314,16 +436,4 @@ class RetrievalSession:
                     for v, e in new_ebs.items():
                         ebs[v] = min(ebs[v], e)
 
-        bytes_per_var = {v: readers[v].bytes_retrieved for v in involved}
-        for v, mask in retriever._masks.items():
-            if v in bytes_per_var:
-                bytes_per_var[v] += mask.nbytes
-        return RetrievalResult(
-            data=recon,
-            bytes_per_variable=bytes_per_var,
-            estimated_errors=estimated,
-            satisfied=satisfied,
-            rounds=rounds,
-            final_ebs={v: ebs[v] for v in involved},
-            stopwatch=sw,
-        )
+        return rounds

@@ -118,11 +118,17 @@ def blockwise_retrieve(
     tolerance: float,
     qoi_range: float = 1.0,
     max_workers: int = 4,
+    pipeline_depth: int | None = None,
+    fetch_workers: int | None = None,
 ) -> BlockRetrievalResult:
     """QoI-preserved retrieval of every block, merged back together.
 
     Each block satisfies the tolerance independently, so the merged
-    reconstruction satisfies it globally (L-infinity is a max).
+    reconstruction satisfies it globally (L-infinity is a max).  Each
+    block runs the pipelined retrieval engine; ``pipeline_depth`` /
+    ``fetch_workers`` tune its per-block fetch/decode overlap for
+    archive-backed (lazily loaded) blocks and are inert for in-memory
+    refactored blocks.
     """
 
     def work(args):
@@ -130,7 +136,12 @@ def blockwise_retrieve(
         ranges = {
             k: (float(np.max(v) - np.min(v)) or 1.0) for k, v in block.items()
         }
-        retriever = QoIRetriever(refactored, ranges)
+        kwargs = {}
+        if pipeline_depth is not None:
+            kwargs["pipeline_depth"] = pipeline_depth
+        if fetch_workers is not None:
+            kwargs["max_workers"] = fetch_workers
+        retriever = QoIRetriever(refactored, ranges, **kwargs)
         start = time.perf_counter()
         result = retriever.retrieve(
             [QoIRequest(qoi_name, qoi, tolerance, qoi_range)]
@@ -212,8 +223,15 @@ def blockwise_retrieve_service(
         names = {name: block_variable(name, b) for name in field_names}
         refactored = {n: service.load_refactored(v) for n, v in names.items()}
         ranges = {n: service.value_range(v) for n, v in names.items()}
+        # each worker runs the pipelined engine with the service's knobs:
+        # lazily loaded blocks plan whole rounds and batch-fetch them
+        # through the shared cache, so concurrent blocks (and re-runs)
+        # coalesce their overlapping fragment demand into shared batches
         retriever = QoIRetriever(
-            refactored, ranges, reduction_factor=service.reduction_factor
+            refactored, ranges,
+            reduction_factor=service.reduction_factor,
+            pipeline_depth=service.pipeline.pipeline_depth,
+            max_workers=service.pipeline.max_workers,
         )
         start = time.perf_counter()
         result = retriever.retrieve([QoIRequest(qoi_name, qoi, tolerance, qoi_range)])

@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.core.assigner import DEFAULT_REDUCTION_FACTOR
+from repro.core.pipeline import DEFAULT_MAX_WORKERS, DEFAULT_PIPELINE_DEPTH, PipelineConfig
 from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
 from repro.storage.archive import Archive
 from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
@@ -48,6 +49,7 @@ class ServiceStats:
     variables_loaded: int
     store_reads: int
     store_bytes_read: int
+    store_round_trips: int
     cache: CacheStats
 
 
@@ -69,6 +71,17 @@ class RetrievalService:
     cache / cache_bytes:
         Share an existing :class:`FragmentCache` across services, or size
         a private one.
+    pipeline_depth / max_workers:
+        Fetch/decode pipeline knobs every client session retrieves with
+        (see :class:`~repro.core.pipeline.PipelineConfig`).  Sessions
+        plan each round's fragment set up front and pull it through the
+        shared cache with single-flight *batched* loads, so concurrent
+        clients' overlapping rounds coalesce into shared store passes.
+    lazy_loading:
+        Load archived variables lazily (the default): opening a variable
+        costs one small store round trip and fragments move only when a
+        client's retrieval plan demands them.  Set False to restore the
+        eager fetch-everything-at-load behavior.
     """
 
     def __init__(
@@ -79,12 +92,19 @@ class RetrievalService:
         cache: FragmentCache | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         reduction_factor: float = DEFAULT_REDUCTION_FACTOR,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        lazy_loading: bool = True,
     ):
         self._inner = store
         self.cache = cache if cache is not None else FragmentCache(cache_bytes)
         self.store = CachingFragmentStore(store, self.cache)
         self.archive = Archive(self.store)
         self.reduction_factor = float(reduction_factor)
+        self.pipeline = PipelineConfig(
+            pipeline_depth=int(pipeline_depth), max_workers=int(max_workers)
+        )
+        self.lazy_loading = bool(lazy_loading)
         self._masks = dict(masks or {})
         self.manifest: DatasetManifest | None = None
         self._ranges: dict = {}
@@ -129,11 +149,16 @@ class RetrievalService:
             )
         return self._ranges[variable]
 
-    def load_refactored(self, variable: str):
-        """Load one archived variable through the shared cache."""
+    def load_refactored(self, variable: str, lazy: bool | None = None):
+        """Load one archived variable through the shared cache.
+
+        ``lazy=None`` follows the service's ``lazy_loading`` default.
+        """
         with self._lock:
             self._variables_loaded += 1
-        return self.archive.load(variable)
+        return self.archive.load(
+            variable, lazy=self.lazy_loading if lazy is None else lazy
+        )
 
     def open_session(self, client_id: str | None = None) -> "ClientSession":
         """Open an independent client session (safe to use on its own thread)."""
@@ -157,6 +182,7 @@ class RetrievalService:
                 variables_loaded=self._variables_loaded,
                 store_reads=self._inner.reads,
                 store_bytes_read=self._inner.bytes_read,
+                store_round_trips=self._inner.round_trips,
                 cache=self.cache.stats(),
             )
 
@@ -177,7 +203,10 @@ class ClientSession:
         self.client_id = client_id
         self._service = service
         self._retriever = QoIRetriever(
-            {}, {}, reduction_factor=service.reduction_factor
+            {}, {},
+            reduction_factor=service.reduction_factor,
+            pipeline_depth=service.pipeline.pipeline_depth,
+            max_workers=service.pipeline.max_workers,
         )
         self._session = RetrievalSession(self._retriever)
         self._closed = False

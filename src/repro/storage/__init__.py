@@ -25,8 +25,8 @@ from repro.storage.metadata import (
     DatasetManifest,
     VariableMetadata,
 )
-from repro.storage.transfer import GlobusTransferModel, TransferReport
-from repro.storage.archive import Archive
+from repro.storage.transfer import GlobusTransferModel, LatencyFragmentStore, TransferReport
+from repro.storage.archive import Archive, FragmentSource, prefetch_plans
 
 __all__ = [
     "FragmentStore",
@@ -41,6 +41,9 @@ __all__ = [
     "MANIFEST_VARIABLE",
     "MANIFEST_SEGMENT",
     "GlobusTransferModel",
+    "LatencyFragmentStore",
     "TransferReport",
     "Archive",
+    "FragmentSource",
+    "prefetch_plans",
 ]

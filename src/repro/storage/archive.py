@@ -10,12 +10,20 @@ which is the deployment story behind the paper's remote-retrieval numbers.
 ``load()`` reconstructs a fully functional :class:`Refactored` object
 from the store; its readers behave identically (byte accounting included)
 to the ones produced directly by the refactorers, which the round-trip
-tests assert.
+tests assert.  ``load(..., lazy=True)`` defers the bulk fragments — the
+bitplane / snapshot payloads that dominate the archive — behind a
+:class:`FragmentSource`, so a variable costs one small store round trip
+to open and fragments are fetched only when (and in whatever batches) the
+retrieval engine actually needs them.  :func:`prefetch_plans` is the
+batch entry point: it coalesces many variables' planned segments into one
+``get_many`` per backing store.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 import numpy as np
 
@@ -24,10 +32,223 @@ from repro.compressors.psz3 import PSZ3Refactored
 from repro.compressors.psz3_delta import PSZ3DeltaRefactored
 from repro.compressors.sz3 import SZ3Blob, SZ3Compressor
 from repro.encoding.bitplane import BitplaneStream
+from repro.utils.fragment_keys import (
+    COARSE_SEGMENT,
+    INDEX_SEGMENT,
+    LOSSLESS_SEGMENT,
+    pmgard_plane_segment,
+    pmgard_signs_segment,
+    snapshot_segment,
+)
 from repro.storage.store import FragmentStore
 from repro.transforms.multilevel import MultilevelDecomposition, MultilevelTransform
 
-_INDEX_SEGMENT = "_index.json"
+
+class FragmentSource:
+    """Lazily fetched fragment view of one archived variable.
+
+    Readers opened over a lazily loaded variable pull payloads through
+    this object.  With ``retain_payloads=True`` (raw stores) every
+    fragment a prefetch delivers is memoized locally, so a batched fetch
+    sticks and decode never re-reads the store.  Behind a
+    :class:`~repro.storage.cache.CachingFragmentStore` the shared LRU is
+    the retention layer — retaining here too would silently duplicate
+    the cache and defeat its byte budget — so only the *names* of
+    fetched segments are remembered (for prefetch dedup) and payloads
+    are re-read through the cache.  A cache eviction between prefetch
+    and decode therefore costs one extra store read, never correctness.
+    """
+
+    #: Longest a ``get`` waits for an in-flight batch before fetching the
+    #: fragment itself (a correctness-safe duplicate read).
+    PENDING_WAIT_SECONDS = 30.0
+
+    def __init__(self, store: FragmentStore, variable: str, retain_payloads: bool = True):
+        self.store = store
+        self.variable = variable
+        self._retain = bool(retain_payloads)
+        self._payloads: dict = {}
+        self._seen: set = set()
+        self._pending: set = set()  # claimed by an in-flight batched fetch
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+
+    def fetched(self, segment: str) -> bool:
+        with self._lock:
+            return segment in self._seen
+
+    def get(self, segment: str) -> bytes:
+        with self._arrived:
+            # a batch already carrying this segment is cheaper to await
+            # than to race with another store read
+            deadline = time.monotonic() + self.PENDING_WAIT_SECONDS
+            while segment in self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._arrived.wait(timeout=remaining):
+                    break
+            payload = self._payloads.get(segment)
+        if payload is None:
+            payload = self.store.get(self.variable, segment)
+            with self._lock:
+                self._seen.add(segment)
+                if self._retain:
+                    self._payloads[segment] = payload
+        return payload
+
+    def size_of(self, segment: str) -> int:
+        """Payload size without fetching (store indexes track sizes)."""
+        with self._lock:
+            payload = self._payloads.get(segment)
+        if payload is not None:
+            return len(payload)
+        return self.store.size_of(self.variable, segment)
+
+    def absorb(self, payloads: dict) -> None:
+        """Merge ``{segment: payload}`` results of a batched fetch."""
+        with self._arrived:
+            self._seen.update(payloads)
+            self._pending.difference_update(payloads)
+            if self._retain:
+                self._payloads.update(payloads)
+            self._arrived.notify_all()
+
+    def missing(self, segments) -> list:
+        """The subset of *segments* not fetched or in flight, in order."""
+        with self._lock:
+            return [
+                s for s in segments
+                if s not in self._seen and s not in self._pending
+            ]
+
+    def claim(self, segments) -> list:
+        """Atomically claim the fetchable subset of *segments*.
+
+        Concurrent batched fetches (a round fetch racing a speculative
+        one, or two clients sharing the source) would otherwise both
+        pass a plain ``missing`` check and read the same fragments from
+        the store twice.  Claimed segments are excluded from later
+        claims until :meth:`absorb` lands them or :meth:`release` gives
+        them up (failed fetch).
+        """
+        with self._lock:
+            out = [
+                s for s in segments
+                if s not in self._seen and s not in self._pending
+            ]
+            self._pending.update(out)
+            return out
+
+    def release(self, segments) -> None:
+        """Un-claim segments whose batched fetch failed."""
+        with self._arrived:
+            self._pending.difference_update(segments)
+            self._arrived.notify_all()
+
+
+def prefetch_plans(plans) -> int:
+    """Fetch many variables' planned segments in one pass per store.
+
+    *plans* is an iterable of ``(FragmentSource, [segment, ...])`` pairs.
+    Segments already fetched or claimed by a concurrent batch are
+    skipped (atomically, via :meth:`FragmentSource.claim` — a fragment
+    is read from the store at most once however many round/speculative
+    fetches plan it); the remainder are grouped by backing store and
+    fetched with a single ``get_many`` each (one store round trip — and,
+    behind a shared cache, one single-flight batch that concurrent
+    clients' overlapping plans coalesce into).  Returns the number of
+    fragments actually fetched.
+    """
+    by_store: dict = {}
+    for source, segments in plans:
+        wanted = source.claim(segments)
+        if wanted:
+            by_store.setdefault(id(source.store), (source.store, []))[1].extend(
+                (source, seg) for seg in wanted
+            )
+    fetched = 0
+    outstanding = list(by_store.values())
+    try:
+        while outstanding:
+            store, entries = outstanding[0]
+            payloads = store.get_many([(src.variable, seg) for src, seg in entries])
+            per_source: dict = {}
+            for src, seg in entries:
+                per_source.setdefault(id(src), (src, {}))[1][seg] = payloads[
+                    (src.variable, seg)
+                ]
+            for src, batch in per_source.values():
+                src.absorb(batch)
+                fetched += len(batch)
+            outstanding.pop(0)
+    except BaseException:
+        # release *every* still-claimed segment — including stores whose
+        # batch never ran — or they would block gets and dodge refetching
+        # for the life of their sources
+        for _, entries in outstanding:
+            for src, seg in entries:
+                src.release([seg])
+        raise
+    return fetched
+
+
+class _LazyPlaneList:
+    """Sequence of one PMGARD level's plane payloads, fetched on access."""
+
+    def __init__(self, source: FragmentSource, level: int, num_planes: int):
+        self._source = source
+        self._level = level
+        self._n = int(num_planes)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, plane: int):
+        if not 0 <= plane < self._n:
+            raise IndexError(plane)
+        return self._source.get(pmgard_plane_segment(self._level, plane))
+
+
+class _LazyBitplaneStream(BitplaneStream):
+    """Archive-backed stream: plane payloads load lazily, sizes do not."""
+
+    def __init__(self, shape, exponent, num_planes, sign_segment, source, level):
+        super().__init__(
+            tuple(shape),
+            exponent,
+            int(num_planes),
+            sign_segment,
+            _LazyPlaneList(source, level, num_planes),
+        )
+        self._source = source
+        self._level = level
+
+    def segment_bytes(self, start_plane: int, stop_plane: int) -> int:
+        # size queries must not pull payloads: answer from the store index
+        if self.exponent is None:
+            return 0
+        total = sum(
+            self._source.size_of(pmgard_plane_segment(self._level, p))
+            for p in range(start_plane, min(stop_plane, self.num_planes))
+        )
+        if start_plane == 0 and stop_plane > 0:
+            total += len(self.sign_segment)
+        return total
+
+
+class _LazyBlob:
+    """Duck-typed :class:`SZ3Blob` whose payload fetches on first access."""
+
+    def __init__(self, source: FragmentSource, segment: str):
+        self._source = source
+        self._segment = segment
+
+    @property
+    def payload(self) -> bytes:
+        return self._source.get(self._segment)
+
+    @property
+    def nbytes(self) -> int:
+        return self._source.size_of(self._segment)
 
 
 class Archive:
@@ -35,6 +256,20 @@ class Archive:
 
     def __init__(self, store: FragmentStore):
         self.store = store
+        self._sources: dict = {}
+
+    def source(self, variable: str) -> FragmentSource:
+        """The (shared) fragment source of one variable."""
+        source = self._sources.get(variable)
+        if source is None:
+            from repro.storage.cache import CachingFragmentStore
+
+            source = self._sources[variable] = FragmentSource(
+                self.store,
+                variable,
+                retain_payloads=not isinstance(self.store, CachingFragmentStore),
+            )
+        return source
 
     # -- save ----------------------------------------------------------------
 
@@ -48,14 +283,14 @@ class Archive:
             index = self._save_snapshots(variable, refactored, kind="psz3_delta")
         else:
             raise TypeError(f"cannot archive {type(refactored).__name__}")
-        self.store.put(variable, _INDEX_SEGMENT, json.dumps(index).encode())
+        self.store.put(variable, INDEX_SEGMENT, json.dumps(index).encode())
         return index
 
     def _save_snapshots(self, variable, refactored, kind) -> dict:
         for i, blob in enumerate(refactored.blobs):
-            self.store.put(variable, f"snapshot_{i:03d}", blob.payload)
+            self.store.put(variable, snapshot_segment(i), blob.payload)
         if refactored.lossless_payload is not None:
-            self.store.put(variable, "lossless", refactored.lossless_payload)
+            self.store.put(variable, LOSSLESS_SEGMENT, refactored.lossless_bytes())
         return {
             "kind": kind,
             "shape": list(refactored.shape),
@@ -65,13 +300,13 @@ class Archive:
         }
 
     def _save_pmgard(self, variable, refactored) -> dict:
-        self.store.put(variable, "coarse", refactored.coarse_payload)
+        self.store.put(variable, COARSE_SEGMENT, refactored.coarse_payload)
         stream_meta = []
         for level, stream in enumerate(refactored.streams):
             if stream.exponent is not None:
-                self.store.put(variable, f"L{level:02d}_signs", stream.sign_segment)
+                self.store.put(variable, pmgard_signs_segment(level), stream.sign_segment)
                 for p, seg in enumerate(stream.plane_segments):
-                    self.store.put(variable, f"L{level:02d}_p{p:02d}", seg)
+                    self.store.put(variable, pmgard_plane_segment(level, p), seg)
             stream_meta.append({
                 "shape": list(stream.shape),
                 "exponent": stream.exponent,
@@ -91,28 +326,73 @@ class Archive:
 
     # -- load ----------------------------------------------------------------
 
-    def load(self, variable: str):
-        """Reconstruct the :class:`Refactored` archived under *variable*."""
-        index = json.loads(self.store.get(variable, _INDEX_SEGMENT).decode())
+    def load(self, variable: str, lazy: bool = False):
+        """Reconstruct the :class:`Refactored` archived under *variable*.
+
+        With ``lazy=False`` every fragment is fetched up front (one
+        ``get`` each — the eager seed behavior).  With ``lazy=True`` only
+        the index and the small per-variable segments (coarse
+        approximation, sign planes) are fetched — batched into a single
+        store round trip — while bitplane / snapshot payloads are wired
+        to a :class:`FragmentSource` and fetched on demand; the returned
+        object carries that source as ``fragment_source`` so the
+        retrieval engine can batch-prefetch planned fragments.
+        """
+        index = json.loads(self.store.get(variable, INDEX_SEGMENT).decode())
         kind = index["kind"]
         if kind == "pmgard":
-            return self._load_pmgard(variable, index)
+            return self._load_pmgard(variable, index, lazy)
         if kind in ("psz3", "psz3_delta"):
-            return self._load_snapshots(variable, index, kind)
+            return self._load_snapshots(variable, index, kind, lazy)
         raise ValueError(f"unknown archive kind {kind!r}")
 
-    def _load_snapshots(self, variable, index, kind):
+    def _load_snapshots(self, variable, index, kind, lazy=False):
+        cls = PSZ3Refactored if kind == "psz3" else PSZ3DeltaRefactored
+        if not lazy:
+            blobs = [
+                SZ3Blob(self.store.get(variable, snapshot_segment(i)))
+                for i in range(index["num_snapshots"])
+            ]
+            tail = (
+                self.store.get(variable, LOSSLESS_SEGMENT)
+                if index["has_lossless"]
+                else None
+            )
+            return cls(
+                tuple(index["shape"]), index["ebs"], blobs, tail, SZ3Compressor()
+            )
+        source = self.source(variable)
         blobs = [
-            SZ3Blob(self.store.get(variable, f"snapshot_{i:03d}"))
+            _LazyBlob(source, snapshot_segment(i))
             for i in range(index["num_snapshots"])
         ]
-        tail = self.store.get(variable, "lossless") if index["has_lossless"] else None
-        cls = PSZ3Refactored if kind == "psz3" else PSZ3DeltaRefactored
-        return cls(
-            tuple(index["shape"]), index["ebs"], blobs, tail, SZ3Compressor()
+        tail = None
+        tail_nbytes = None
+        if index["has_lossless"]:
+            tail = lambda: source.get(LOSSLESS_SEGMENT)  # noqa: E731
+            tail_nbytes = source.size_of(LOSSLESS_SEGMENT)
+        ref = cls(
+            tuple(index["shape"]), index["ebs"], blobs, tail, SZ3Compressor(),
+            lossless_nbytes=tail_nbytes,
         )
+        ref.fragment_source = source
+        return ref
 
-    def _load_pmgard(self, variable, index):
+    def _load_pmgard(self, variable, index, lazy=False):
+        source = self.source(variable) if lazy else None
+        if lazy:
+            # the small segments — coarse approximation plus every level's
+            # signs — arrive in one batched round trip at open time; the
+            # (dominant) plane payloads stay behind the fragment source
+            small = [(variable, COARSE_SEGMENT)]
+            small += [
+                (variable, pmgard_signs_segment(level))
+                for level, meta in enumerate(index["streams"])
+                if meta["exponent"] is not None
+            ]
+            source.absorb(
+                {seg: payload for (_, seg), payload in self.store.get_many(small).items()}
+            )
         streams = []
         for level, meta in enumerate(index["streams"]):
             if meta["exponent"] is None:
@@ -120,9 +400,18 @@ class Archive:
                     BitplaneStream(tuple(meta["shape"]), None, meta["num_planes"], b"", [])
                 )
                 continue
-            signs = self.store.get(variable, f"L{level:02d}_signs")
+            if lazy:
+                streams.append(
+                    _LazyBitplaneStream(
+                        tuple(meta["shape"]), int(meta["exponent"]),
+                        meta["num_planes"], source.get(pmgard_signs_segment(level)),
+                        source, level,
+                    )
+                )
+                continue
+            signs = self.store.get(variable, pmgard_signs_segment(level))
             planes = [
-                self.store.get(variable, f"L{level:02d}_p{p:02d}")
+                self.store.get(variable, pmgard_plane_segment(level, p))
                 for p in range(meta["num_planes"])
             ]
             streams.append(
@@ -142,14 +431,21 @@ class Archive:
             coarse=None,
             basis=index["basis"],
         )
-        return PMGARDRefactored(
+        coarse = (
+            source.get(COARSE_SEGMENT) if lazy
+            else self.store.get(variable, COARSE_SEGMENT)
+        )
+        ref = PMGARDRefactored(
             decomp,
             streams,
-            self.store.get(variable, "coarse"),
+            coarse,
             transform,
             index["backend"],
             coarse_shape=tuple(index["coarse_shape"]),
         )
+        if lazy:
+            ref.fragment_source = source
+        return ref
 
     # -- bulk helpers ----------------------------------------------------------
 
@@ -158,14 +454,14 @@ class Archive:
         for name, ref in refactored.items():
             self.save(name, ref)
 
-    def load_dataset(self, variables) -> dict:
+    def load_dataset(self, variables, lazy: bool = False) -> dict:
         """Reload a set of archived variables."""
-        return {name: self.load(name) for name in variables}
+        return {name: self.load(name, lazy=lazy) for name in variables}
 
     def variables(self) -> list:
         """Names of all archived variables (those with an index segment)."""
-        seen = []
-        for var, seg in self.store.keys():
-            if seg == _INDEX_SEGMENT and var not in seen:
-                seen.append(var)
-        return seen
+        return [
+            var
+            for var in self.store.variables()
+            if self.store.has(var, INDEX_SEGMENT)
+        ]

@@ -15,6 +15,12 @@ the same fragment wait on that load, while hits and misses on *other*
 keys proceed unblocked.  One fragment is therefore read from the store
 at most once however many clients race for it, and a slow store tier
 never serializes unrelated cache traffic.
+
+:meth:`FragmentCache.get_many` extends single-flight to whole *batches*:
+the keys a caller claims are loaded with one ``store.get_many`` round
+trip, keys other callers are already loading are awaited and absorbed —
+so the retrieval engine's per-round fragment sets coalesce across
+concurrent clients into shared batched store passes.
 """
 
 from __future__ import annotations
@@ -121,6 +127,69 @@ class FragmentCache:
         flight.set()
         return payload
 
+    def get_many(self, keys, loader_many) -> dict:
+        """Batched :meth:`get_or_load`: one store round trip for all misses.
+
+        *keys* is an iterable of ``(variable, segment)`` pairs and
+        *loader_many* a callable mapping a list of keys to a ``{key:
+        payload}`` dict (typically ``store.get_many``).  Hits are served
+        from the cache; the misses this caller *claims* are loaded with a
+        single *loader_many* call outside the lock, so a retrieval
+        round's fragment set costs one coalesced store pass however many
+        fragments it spans.  Keys another caller is already loading are
+        not re-requested — the batch waits for those flights and absorbs
+        their results — so concurrent clients with overlapping batches
+        share loads single-flight per key, exactly like ``get_or_load``.
+        """
+        pending = list(dict.fromkeys((v, s) for v, s in keys))
+        out: dict = {}
+        while pending:
+            owned: list = []
+            waits: list = []
+            with self._lock:
+                for key in pending:
+                    if key in self._entries:
+                        payload = self._entries.pop(key)
+                        self._entries[key] = payload  # move to MRU position
+                        self._stats.hits += 1
+                        self._stats.bytes_from_cache += len(payload)
+                        out[key] = payload
+                    elif key in self._inflight:
+                        waits.append((key, self._inflight[key]))
+                    else:
+                        flight = threading.Event()
+                        self._inflight[key] = flight
+                        owned.append((key, flight))
+            if owned:
+                # whatever happens — loader failure, a partial result
+                # dict, a non-bytes payload — every claimed flight must
+                # be released and signalled, or waiters block forever
+                try:
+                    loaded = loader_many([k for k, _ in owned])
+                    with self._lock:
+                        for key, flight in owned:
+                            payload = bytes(loaded[key])
+                            self._stats.misses += 1
+                            self._stats.bytes_from_store += len(payload)
+                            if len(payload) <= self.capacity_bytes:
+                                self._entries[key] = payload
+                                self._stats.current_bytes += len(payload)
+                            out[key] = payload
+                        self._evict_to_budget()
+                finally:
+                    with self._lock:
+                        for key, _ in owned:
+                            self._inflight.pop(key, None)
+                    for _, flight in owned:
+                        flight.set()
+            for _, flight in waits:
+                flight.wait()
+            # waited keys re-check the cache on the next pass; an entry
+            # that was oversized or already evicted is retried as an
+            # owned load, mirroring the get_or_load loop
+            pending = [key for key, _ in waits]
+        return out
+
     def _evict_to_budget(self) -> None:
         while self._stats.current_bytes > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
@@ -168,14 +237,34 @@ class CachingFragmentStore(FragmentStore):
         payload = self.cache.get_or_load(
             variable, segment, lambda: self.inner.get(variable, segment)
         )
-        self._count_read(len(payload))  # client-visible traffic
+        # the adapter's counters are uniformly *client-visible*: requests
+        # this client issued, whether the cache or the inner store served
+        # them (the inner store's own counters hold the store-side truth)
+        with self._stats_lock:
+            self.round_trips += 1
+            self._count_read(len(payload))
         return payload
+
+    def get_many(self, keys) -> dict:
+        """Batched read-through: one inner round trip for the batch's misses."""
+        out = self.cache.get_many(keys, self.inner.get_many)
+        with self._stats_lock:
+            self.round_trips += 1
+            for payload in out.values():
+                self._count_read(len(payload))  # client-visible traffic
+        return out
 
     def has(self, variable: str, segment: str) -> bool:
         return self.inner.has(variable, segment)
 
     def keys(self) -> list:
         return self.inner.keys()
+
+    def variables(self) -> list:
+        return self.inner.variables()
+
+    def size_of(self, variable: str, segment: str) -> int:
+        return self.inner.size_of(variable, segment)
 
     def segments(self, variable: str) -> list:
         return self.inner.segments(variable)

@@ -9,10 +9,16 @@ over hashed subdirectories — the layout that keeps directory operations
 flat when an archive holds millions of fragments — and persists an
 append-only index so a reopened store serves everything archived before.
 
-Every store counts the reads it serves (``reads`` / ``bytes_read``); the
-service layer compares those counters against the shared
-:class:`~repro.storage.cache.FragmentCache` statistics to show how much
-disk traffic multi-client retrieval avoids.
+Every store counts the reads it serves (``reads`` / ``bytes_read``) and
+the *round trips* those reads cost (``round_trips``): a ``get`` is one
+round trip for one fragment, a :meth:`FragmentStore.get_many` is one
+round trip for a whole batch.  The pipelined retrieval engine exists to
+shrink the round-trip count without changing the fragment traffic, so the
+two counters are tracked separately.
+
+Byte totals and per-variable segment lists are maintained incrementally
+by ``put`` — ``nbytes``/``segments``/``size_of`` never rescan the index,
+which keeps them safe to call on retrieval hot paths.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ DISK_INDEX_LOG = ".repro-index.jsonl"
 #: Append-only persisted index of a :class:`ShardedDiskStore`.
 SHARD_INDEX_LOG = "index.jsonl"
 
+#: Layout marker written once per on-disk store so :func:`open_store` can
+#: identify (and correctly parameterize) the store class that wrote the
+#: directory without guessing from its contents.
+LAYOUT_MARKER = ".repro-store.json"
+
 
 def _write_atomic(path: str, payload: bytes) -> None:
     """Write *payload* so concurrent readers see old-or-new, never partial."""
@@ -41,62 +52,144 @@ def _write_atomic(path: str, payload: bytes) -> None:
     os.replace(tmp, path)
 
 
+def _read_layout_marker(archive_dir: str) -> dict | None:
+    path = os.path.join(archive_dir, LAYOUT_MARKER)
+    if not os.path.isfile(path):
+        return None
+    try:
+        with open(path) as fh:
+            marker = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return marker if isinstance(marker, dict) else None
+
+
 def open_store(archive_dir: str) -> "FragmentStore":
     """Open an on-disk archive directory, auto-detecting its layout.
 
-    A :class:`ShardedDiskStore` is recognized by the persisted index it
-    leaves behind; anything else opens as a flat
-    :class:`DiskFragmentStore`.
+    A directory is sharded when it holds the persisted shard index or a
+    :data:`LAYOUT_MARKER` saying so (the marker, written on first
+    ``put``, also restores the fan-out width, which filenames alone
+    cannot); anything else opens as a flat :class:`DiskFragmentStore`.
+    The shard index outranks the marker, so a directory that somehow
+    carries both layouts still opens the way pre-marker revisions did.
     """
-    if os.path.isfile(os.path.join(archive_dir, SHARD_INDEX_LOG)):
-        return ShardedDiskStore(archive_dir)
+    marker = _read_layout_marker(archive_dir)
+    if os.path.isfile(os.path.join(archive_dir, SHARD_INDEX_LOG)) or (
+        marker is not None and marker.get("layout") == "sharded"
+    ):
+        return ShardedDiskStore(archive_dir)  # fan-out restored from the marker
     return DiskFragmentStore(archive_dir)
 
 
 class FragmentStore:
-    """In-memory fragment store with byte accounting."""
+    """In-memory fragment store with byte and round-trip accounting."""
 
     def __init__(self):
         self._data: dict = {}
-        #: Number of ``get`` calls served.
+        #: Number of fragments served by ``get``/``get_many``.
         self.reads = 0
-        #: Total payload bytes served by ``get`` (the store-side traffic).
+        #: Total payload bytes served (the store-side traffic).
         self.bytes_read = 0
+        #: Number of store requests issued: one per ``get`` call and one
+        #: per ``get_many`` call, however many fragments the batch holds.
+        self.round_trips = 0
+        # counters are read-modify-write and every store may serve
+        # concurrent clients; the disk stores reuse their own wider lock
+        self._stats_lock = threading.Lock()
+        # running index totals, maintained by _record_put (satisfies
+        # nbytes/segments/size_of without a full index scan per call)
+        self._sizes: dict = {}  # (variable, segment) -> payload bytes
+        self._var_bytes: dict = {}  # variable -> archived bytes
+        self._var_segments: dict = {}  # variable -> [segment, ...] in put order
+        self._total_bytes = 0
+
+    # -- accounting -----------------------------------------------------------
 
     def _count_read(self, nbytes: int) -> None:
         self.reads += 1
         self.bytes_read += int(nbytes)
+
+    def _record_put(self, variable: str, segment: str, nbytes: int) -> None:
+        """Fold one archived fragment into the running index totals."""
+        key = (variable, segment)
+        old = self._sizes.get(key)
+        if old is None:
+            self._var_segments.setdefault(variable, []).append(segment)
+        else:
+            self._total_bytes -= old
+            self._var_bytes[variable] -= old
+        self._sizes[key] = int(nbytes)
+        self._total_bytes += int(nbytes)
+        self._var_bytes[variable] = self._var_bytes.get(variable, 0) + int(nbytes)
+
+    # -- write ----------------------------------------------------------------
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
         """Archive one fragment."""
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
         self._data[(variable, segment)] = bytes(payload)
+        self._record_put(variable, segment, len(payload))
+
+    # -- read -----------------------------------------------------------------
 
     def get(self, variable: str, segment: str) -> bytes:
         """Fetch one fragment; KeyError when absent."""
         payload = self._data[(variable, segment)]
-        self._count_read(len(payload))
+        with self._stats_lock:
+            self.round_trips += 1
+            self._count_read(len(payload))
         return payload
 
+    def get_many(self, keys) -> dict:
+        """Fetch a batch of fragments in one store round trip.
+
+        *keys* is an iterable of ``(variable, segment)`` pairs; the result
+        maps each (deduplicated) key to its payload.  All keys are checked
+        against the index in a single pass before any payload is read, so
+        a missing key raises ``KeyError`` (listing every missing key)
+        without serving a partial batch.  Per-fragment ``reads`` /
+        ``bytes_read`` accounting is identical to ``get``; only
+        ``round_trips`` records the coalescing.
+        """
+        keys = list(dict.fromkeys((v, s) for v, s in keys))
+        missing = [k for k in keys if k not in self._data]
+        if missing:
+            raise KeyError(missing)
+        out = {key: self._data[key] for key in keys}
+        with self._stats_lock:
+            self.round_trips += 1
+            for payload in out.values():
+                self._count_read(len(payload))
+        return out
+
+    # -- index ----------------------------------------------------------------
+
     def has(self, variable: str, segment: str) -> bool:
-        return (variable, segment) in self._data
+        return (variable, segment) in self._sizes
 
     def keys(self) -> list:
         """All archived ``(variable, segment)`` keys, insertion-ordered."""
-        return list(self._data)
+        return list(self._sizes)
+
+    def variables(self) -> list:
+        """Archived variable names, first-put order."""
+        return list(self._var_segments)
 
     def segments(self, variable: str) -> list:
         """Segment names archived for *variable*, insertion-ordered."""
-        return [seg for (var, seg) in self._data if var == variable]
+        return list(self._var_segments.get(variable, ()))
+
+    def size_of(self, variable: str, segment: str) -> int:
+        """Payload size of one archived fragment without reading it."""
+        return self._sizes[(variable, segment)]
 
     def nbytes(self, variable: str | None = None) -> int:
         """Total archived bytes (optionally for a single variable)."""
-        return sum(
-            len(payload)
-            for (var, _), payload in self._data.items()
-            if variable is None or var == variable
-        )
+        if variable is None:
+            return self._total_bytes
+        return self._var_bytes.get(variable, 0)
 
 
 class DiskFragmentStore(FragmentStore):
@@ -115,6 +208,17 @@ class DiskFragmentStore(FragmentStore):
         os.makedirs(root, exist_ok=True)
         self._reindex()
 
+    def _write_marker(self) -> None:
+        # written on first put, never on open: opening must work on
+        # read-only mounts, and an empty directory must not get pinned
+        # to a layout it may never hold
+        path = os.path.join(self.root, LAYOUT_MARKER)
+        try:
+            if not os.path.isfile(path):
+                _write_atomic(path, json.dumps({"layout": "flat"}).encode())
+        except OSError:
+            pass  # best-effort: open_store falls back to index heuristics
+
     def _reindex(self) -> None:
         log_path = os.path.join(self.root, DISK_INDEX_LOG)
         logged_files = set()
@@ -125,7 +229,20 @@ class DiskFragmentStore(FragmentStore):
                     if not line:
                         continue
                     entry = json.loads(line)
-                    self._data[(entry["variable"], entry["segment"])] = None
+                    var, seg = entry["variable"], entry["segment"]
+                    nbytes = entry.get("nbytes")
+                    if nbytes is None:  # log predates size tracking
+                        try:
+                            nbytes = os.path.getsize(
+                                os.path.join(self.root, entry["file"])
+                            )
+                        except OSError:
+                            # dangling entry (file cleaned up externally):
+                            # keep the key indexed — size 0, unreadable on
+                            # access — rather than failing the whole open
+                            nbytes = 0
+                    self._data[(var, seg)] = None
+                    self._record_put(var, seg, int(nbytes))
                     logged_files.add(entry["file"])
         # Legacy directories (written before the key log existed) are
         # recovered from filenames; sanitization is idempotent, so lookups
@@ -134,7 +251,12 @@ class DiskFragmentStore(FragmentStore):
             if fname in logged_files or not fname.endswith(".bin") or "__" not in fname:
                 continue
             var, seg = fname[:-4].split("__", 1)
+            try:
+                nbytes = os.path.getsize(os.path.join(self.root, fname))
+            except OSError:
+                continue  # vanished between listdir and stat
             self._data[(var, seg)] = None
+            self._record_put(var, seg, nbytes)
 
     def _path(self, variable: str, segment: str) -> str:
         safe_var = _KEY_RE.sub("_", variable)
@@ -146,17 +268,20 @@ class DiskFragmentStore(FragmentStore):
             raise TypeError("fragment payload must be bytes")
         path = self._path(variable, segment)
         with self._lock:
-            is_new = (variable, segment) not in self._data
+            self._write_marker()
             _write_atomic(path, bytes(payload))
             self._data[(variable, segment)] = None  # index only; bytes on disk
-            if is_new:
-                entry = {
-                    "variable": variable,
-                    "segment": segment,
-                    "file": os.path.basename(path),
-                }
-                with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
-                    fh.write(json.dumps(entry) + "\n")
+            self._record_put(variable, segment, len(payload))
+            # overwrites append too: replay keeps the *last* entry's size,
+            # so a reopened store reports the current payload bytes
+            entry = {
+                "variable": variable,
+                "segment": segment,
+                "file": os.path.basename(path),
+                "nbytes": len(payload),
+            }
+            with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
+                fh.write(json.dumps(entry) + "\n")
 
     def get(self, variable: str, segment: str) -> bytes:
         if (variable, segment) not in self._data:
@@ -164,15 +289,35 @@ class DiskFragmentStore(FragmentStore):
         with open(self._path(variable, segment), "rb") as fh:
             payload = fh.read()
         with self._lock:
+            self.round_trips += 1
             self._count_read(len(payload))
         return payload
 
-    def nbytes(self, variable: str | None = None) -> int:
+    def get_many(self, keys) -> dict:
+        keys = list(dict.fromkeys((v, s) for v, s in keys))
+        with self._lock:
+            missing = [k for k in keys if k not in self._data]
+        if missing:
+            raise KeyError(missing)
+        # one pass over the directory in filename order: sequential reads
+        # on spinning media, and a stable order for the accounting below
+        ordered = sorted(keys, key=lambda k: self._path(*k))
+        out = {}
         total = 0
-        for var, seg in self._data:
-            if variable is None or var == variable:
-                total += os.path.getsize(self._path(var, seg))
-        return total
+        for key in ordered:
+            with open(self._path(*key), "rb") as fh:
+                payload = fh.read()
+            out[key] = payload
+            total += len(payload)
+        with self._lock:
+            self.round_trips += 1
+            self.reads += len(out)
+            self.bytes_read += total
+        return out
+
+    def nbytes(self, variable: str | None = None) -> int:
+        with self._lock:
+            return super().nbytes(variable)
 
 
 class ShardedDiskStore(FragmentStore):
@@ -185,18 +330,26 @@ class ShardedDiskStore(FragmentStore):
     service immediately serves everything previously archived.  A short
     digest suffix in each filename keeps distinct keys distinct even when
     sanitization would collide them (``a/b`` vs. ``a_b``).
+
+    The layout marker records the fan-out width; when reopening a
+    directory whose marker disagrees with the *fanout* argument, the
+    marker wins — new fragments must land in the shard their digest
+    already points at.
     """
 
     def __init__(self, root: str, fanout: int = 256):
         super().__init__()
-        if fanout < 1:
-            raise ValueError("fanout must be >= 1")
         self.root = root
-        self.fanout = int(fanout)
         self._lock = threading.Lock()
-        self._index: dict = {}  # (variable, segment) -> (relpath, nbytes)
+        self._index: dict = {}  # (variable, segment) -> relpath
         self._log_path = os.path.join(root, SHARD_INDEX_LOG)
         os.makedirs(root, exist_ok=True)
+        marker = _read_layout_marker(root)
+        if marker is not None and marker.get("layout") == "sharded":
+            fanout = int(marker.get("fanout", fanout))
+        if fanout < 1:  # validate the *effective* width, marker included
+            raise ValueError("fanout must be >= 1")
+        self.fanout = int(fanout)
         if os.path.isfile(self._log_path):
             with open(self._log_path) as fh:
                 for line in fh:
@@ -204,10 +357,21 @@ class ShardedDiskStore(FragmentStore):
                     if not line:
                         continue
                     entry = json.loads(line)
-                    self._index[(entry["variable"], entry["segment"])] = (
-                        entry["path"],
-                        int(entry["nbytes"]),
-                    )
+                    var, seg = entry["variable"], entry["segment"]
+                    self._index[(var, seg)] = entry["path"]
+                    self._record_put(var, seg, int(entry["nbytes"]))
+
+    def _write_marker(self) -> None:
+        # on first put, never on open (read-only mounts must stay openable)
+        path = os.path.join(self.root, LAYOUT_MARKER)
+        try:
+            if not os.path.isfile(path):
+                _write_atomic(
+                    path,
+                    json.dumps({"layout": "sharded", "fanout": self.fanout}).encode(),
+                )
+        except OSError:
+            pass  # best-effort: the shard index is the detection fallback
 
     def _relpath(self, variable: str, segment: str) -> str:
         digest = hashlib.sha1(f"{variable}\x00{segment}".encode()).hexdigest()
@@ -230,7 +394,9 @@ class ShardedDiskStore(FragmentStore):
             "nbytes": len(payload),
         }
         with self._lock:
-            self._index[(variable, segment)] = (rel, len(payload))
+            self._write_marker()
+            self._index[(variable, segment)] = rel
+            self._record_put(variable, segment, len(payload))
             with open(self._log_path, "a") as fh:
                 fh.write(json.dumps(entry) + "\n")
 
@@ -238,25 +404,48 @@ class ShardedDiskStore(FragmentStore):
         with self._lock:
             if (variable, segment) not in self._index:
                 raise KeyError((variable, segment))
-            rel, _ = self._index[(variable, segment)]
+            rel = self._index[(variable, segment)]
         with open(os.path.join(self.root, rel), "rb") as fh:
             payload = fh.read()
         with self._lock:
+            self.round_trips += 1
             self._count_read(len(payload))
         return payload
 
+    def get_many(self, keys) -> dict:
+        keys = list(dict.fromkeys((v, s) for v, s in keys))
+        with self._lock:  # single index pass resolves every path up front
+            missing = [k for k in keys if k not in self._index]
+            if missing:
+                raise KeyError(missing)
+            rels = {k: self._index[k] for k in keys}
+        # group by shard directory and read each shard's files in filename
+        # order: one directory's worth of sequential reads at a time
+        by_shard: dict = {}
+        for key, rel in rels.items():
+            by_shard.setdefault(os.path.dirname(rel), []).append((rel, key))
+        out = {}
+        total = 0
+        for shard in sorted(by_shard):
+            for rel, key in sorted(by_shard[shard]):
+                with open(os.path.join(self.root, rel), "rb") as fh:
+                    payload = fh.read()
+                out[key] = payload
+                total += len(payload)
+        with self._lock:
+            self.round_trips += 1
+            self.reads += len(out)
+            self.bytes_read += total
+        return {k: out[k] for k in keys}
+
     def has(self, variable: str, segment: str) -> bool:
-        return (variable, segment) in self._index
+        with self._lock:
+            return (variable, segment) in self._index
 
     def keys(self) -> list:
-        return list(self._index)
-
-    def segments(self, variable: str) -> list:
-        return [seg for (var, seg) in self._index if var == variable]
+        with self._lock:
+            return list(self._index)
 
     def nbytes(self, variable: str | None = None) -> int:
-        return sum(
-            n
-            for (var, _), (_, n) in self._index.items()
-            if variable is None or var == variable
-        )
+        with self._lock:
+            return super().nbytes(variable)

@@ -21,8 +21,10 @@ the paper's Fig. 9.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from repro.storage.store import FragmentStore
 from repro.utils.validation import check_positive
 
 #: Aggregate WAN bandwidth calibrated to the paper's baseline
@@ -136,3 +138,74 @@ class GlobusTransferModel:
         """Raw transfer of the original (unreduced) data, evenly blocked."""
         per_block = int(round(total_bytes / num_blocks))
         return self.transfer([per_block] * num_blocks, rounds_per_block=1)
+
+
+class LatencyFragmentStore(FragmentStore):
+    """A :class:`FragmentStore` behind a simulated slow link (real sleeps).
+
+    Wraps any store and charges every *round trip* a fixed latency plus a
+    bandwidth cost proportional to the bytes it moves — the cost model of
+    an object store or parallel file system reached over a network.  A
+    batched :meth:`get_many` pays the latency **once** for the whole
+    batch, which is exactly the economy the pipelined retrieval engine's
+    coalesced fetches exploit; the benchmarks use this wrapper to measure
+    that effect end to end without needing a real remote tier.
+
+    Sleeps are real (``time.sleep``), so concurrent clients overlap their
+    waits like real network requests would.  Writes are not delayed —
+    archival happens once and is not what the retrieval benchmarks time.
+    """
+
+    def __init__(
+        self,
+        inner: FragmentStore,
+        latency: float = 0.002,
+        bandwidth: float = 2e9,
+    ):
+        super().__init__()
+        self.inner = inner
+        self.latency = float(latency)
+        self.bandwidth = check_positive(bandwidth, name="bandwidth")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def _charge(self, nbytes: int) -> None:
+        time.sleep(self.latency + nbytes / self.bandwidth)
+
+    def put(self, variable: str, segment: str, payload: bytes) -> None:
+        self.inner.put(variable, segment, payload)
+
+    def get(self, variable: str, segment: str) -> bytes:
+        payload = self.inner.get(variable, segment)
+        self._charge(len(payload))
+        with self._stats_lock:
+            self.round_trips += 1
+            self._count_read(len(payload))
+        return payload
+
+    def get_many(self, keys) -> dict:
+        out = self.inner.get_many(keys)
+        self._charge(sum(len(p) for p in out.values()))
+        with self._stats_lock:
+            self.round_trips += 1
+            for payload in out.values():
+                self._count_read(len(payload))
+        return out
+
+    def has(self, variable: str, segment: str) -> bool:
+        return self.inner.has(variable, segment)
+
+    def keys(self) -> list:
+        return self.inner.keys()
+
+    def variables(self) -> list:
+        return self.inner.variables()
+
+    def segments(self, variable: str) -> list:
+        return self.inner.segments(variable)
+
+    def size_of(self, variable: str, segment: str) -> int:
+        return self.inner.size_of(variable, segment)
+
+    def nbytes(self, variable: str | None = None) -> int:
+        return self.inner.nbytes(variable)

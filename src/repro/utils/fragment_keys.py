@@ -1,0 +1,35 @@
+"""Canonical segment names of archived progressive fragments.
+
+The archive layer stores every fragment of a refactored variable under a
+``(variable, segment)`` key; retrieval planning (deciding *which*
+fragments a round needs before fetching any of them) requires the readers
+to speak the same segment names.  Centralizing the naming here keeps
+:mod:`repro.storage.archive` and the compressor readers in lockstep
+without an import cycle — this module imports nothing.
+"""
+
+from __future__ import annotations
+
+#: JSON index describing how a variable was refactored.
+INDEX_SEGMENT = "_index.json"
+
+#: Verbatim (compressed) coarse approximation of a PMGARD variable.
+COARSE_SEGMENT = "coarse"
+
+#: Zlib-compressed exact tail of a PSZ3 / PSZ3-delta ladder.
+LOSSLESS_SEGMENT = "lossless"
+
+
+def snapshot_segment(index: int) -> str:
+    """Segment name of snapshot *index* of a PSZ3 / PSZ3-delta ladder."""
+    return f"snapshot_{index:03d}"
+
+
+def pmgard_signs_segment(level: int) -> str:
+    """Segment name of one PMGARD level's packed sign bits."""
+    return f"L{level:02d}_signs"
+
+
+def pmgard_plane_segment(level: int, plane: int) -> str:
+    """Segment name of one PMGARD level's bitplane *plane* (MSB first)."""
+    return f"L{level:02d}_p{plane:02d}"
