@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Tiered storage fabric benchmark: the tracked cold/warm/promoted trajectory.
+
+PR 3's engine coalesced a retrieval's store traffic into few large round
+trips; this harness tracks what the tiered fabric does with those trips.
+It measures end-to-end QoI retrieval (open archived variables, run a
+tolerance ladder to completion) in three configurations over the same
+archive:
+
+* **single_tier** — the baseline: every read pays the slow tier
+  (sharded disk behind :class:`LatencyFragmentStore`, an
+  object-store-like cost model with real sleeps),
+* **tiered** — a :class:`TieredStore` with an empty fast tier: a *cold*
+  ladder (fast tier empty, every miss batched to the slow tier), one
+  :meth:`TransferManager.run_once` promotion cycle, then a *promoted*
+  ladder and a *warm* ladder served from the fast tier,
+* **tiered_budget** — the same with a fast-tier byte budget at ~60% of
+  the hot set, so promotion is partial and demotion runs; shows the
+  fabric degrading gracefully instead of falling off a cliff.
+
+Every configuration is verified **bit-identical** to the single-tier
+baseline (same reconstructions, achieved bounds, retrieved bytes) — the
+fabric reshapes where bytes are served from, never results.  The
+headline criterion (asserted by the CI smoke): the promoted and warm
+ladders issue at least 2x fewer slow-tier round trips than the cold one.
+Results append to ``BENCH_tiered.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_tiered_store.py [--quick]
+
+``--quick`` shrinks the dataset and the simulated latency (~seconds
+total) and is what CI runs; full runs use 64^3 variables and are the
+numbers quoted in docs/storage.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import make_refactorer
+from repro.core.qois import qoi_from_spec
+from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
+from repro.storage.archive import Archive
+from repro.storage.store import FragmentStore, ShardedDiskStore
+from repro.storage.tiered import TieredStore
+from repro.storage.transfer import LatencyFragmentStore
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_tiered.json"
+
+#: Pipeline knobs (same as the retrieval benchmark's pipelined config).
+PIPELINE_DEPTH = 2
+MAX_WORKERS = 4
+
+
+def _field(shape, seed=0):
+    """Smooth structured field + fine-scale noise (laptop CFD stand-in)."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 4 * np.pi, n) for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij", sparse=True)
+    field = sum(np.sin(g + 0.7 * i) for i, g in enumerate(grids))
+    return field * 1e2 + 2.0 * rng.standard_normal(shape)
+
+
+def _build_archive(tmp, quick):
+    shape = (24, 24, 24) if quick else (64, 64, 64)
+    fields = {f"v{k}": _field(shape, seed=k) for k in range(3)}
+    ranges = {k: float(np.max(v) - np.min(v)) for k, v in fields.items()}
+    refactored = refactor_dataset(fields, make_refactorer("pmgard_hb", num_planes=40))
+    store = ShardedDiskStore(str(Path(tmp) / "archive"), fanout=64)
+    archive = Archive(store)
+    archive.save_dataset(refactored)
+    qoi = qoi_from_spec("vtot", sorted(fields))
+    env = {k: (v, 0.0) for k, v in fields.items()}
+    qoi_range = float(np.ptp(qoi.value(env)))
+    return str(Path(tmp) / "archive"), sorted(fields), ranges, qoi, qoi_range
+
+
+def _ladder(quick):
+    return [1e-2, 1e-3] if quick else [1e-2, 1e-3, 1e-4]
+
+
+def _slow_store(archive_dir, quick):
+    latency = 0.0005 if quick else 0.002
+    return LatencyFragmentStore(
+        ShardedDiskStore(archive_dir), latency=latency, bandwidth=2e9
+    )
+
+
+def _assert_identical(a, b, context):
+    for ra, rb in zip(a, b):
+        if ra.estimated_errors != rb.estimated_errors:
+            raise AssertionError(f"{context}: estimated errors diverged")
+        if ra.final_ebs != rb.final_ebs:
+            raise AssertionError(f"{context}: achieved bounds diverged")
+        if ra.total_bytes != rb.total_bytes:
+            raise AssertionError(f"{context}: retrieved bytes diverged")
+        for name in ra.data:
+            if not np.array_equal(ra.data[name], rb.data[name]):
+                raise AssertionError(f"{context}: reconstruction of {name} diverged")
+
+
+def _run_ladder(store, fields, ranges, qoi, qoi_range, quick):
+    """One fresh analyst: lazy archive + pipelined ladder over *store*."""
+    archive = Archive(store)
+    t0 = time.perf_counter()
+    loaded = archive.load_dataset(fields, lazy=True)
+    retriever = QoIRetriever(
+        loaded, ranges, pipeline_depth=PIPELINE_DEPTH, max_workers=MAX_WORKERS
+    )
+    session = retriever.session()
+    results = [
+        session.retrieve([QoIRequest("vtot", qoi, tol, qoi_range)])
+        for tol in _ladder(quick)
+    ]
+    return results, time.perf_counter() - t0
+
+
+def bench_single_tier(archive_dir, fields, ranges, qoi, qoi_range, quick):
+    """Baseline: every ladder pays the slow tier directly."""
+    slow = _slow_store(archive_dir, quick)
+    results, seconds = _run_ladder(slow, fields, ranges, qoi, qoi_range, quick)
+    _, seconds_2 = _run_ladder(slow, fields, ranges, qoi, qoi_range, quick)
+    return results, {
+        "seconds": min(seconds, seconds_2),  # best-of-2; counters are per-run
+        "slow_round_trips_per_ladder": slow.round_trips // 2,
+        "slow_reads": slow.reads,
+        "slow_bytes_read": slow.bytes_read,
+    }
+
+
+def _tier_deltas(store, before):
+    after = store.stats()
+    return after, {
+        "slow_round_trips": after.slow_round_trips - before.slow_round_trips,
+        "slow_hits": after.slow_hits - before.slow_hits,
+        "fast_hits": after.fast_hits - before.fast_hits,
+    }
+
+
+def bench_tiered(archive_dir, fields, ranges, qoi, qoi_range, quick,
+                 budget=None, label="tiered"):
+    """Cold ladder -> one promotion cycle -> promoted + warm ladders."""
+    slow = _slow_store(archive_dir, quick)
+    store = TieredStore(
+        FragmentStore(), slow,
+        fast_budget_bytes=budget, promote_after=1,
+    )
+    phases = {}
+    baseline = store.stats()
+    cold_results, cold_s = _run_ladder(store, fields, ranges, qoi, qoi_range, quick)
+    baseline, phases["cold"] = _tier_deltas(store, baseline)
+
+    t0 = time.perf_counter()
+    moved = store.transfer.run_once()
+    promote_s = time.perf_counter() - t0
+
+    promoted_results, promoted_s = _run_ladder(
+        store, fields, ranges, qoi, qoi_range, quick
+    )
+    baseline, phases["promoted"] = _tier_deltas(store, baseline)
+    warm_results, warm_s = _run_ladder(store, fields, ranges, qoi, qoi_range, quick)
+    baseline, phases["warm"] = _tier_deltas(store, baseline)
+
+    _assert_identical(cold_results, promoted_results, f"{label}/promoted")
+    _assert_identical(cold_results, warm_results, f"{label}/warm")
+    if budget is not None:
+        # an operator tightening the budget: the next cycle must demote
+        # the coldest residents down to the new target (and stay correct)
+        store.fast_budget_bytes = budget // 2
+        store.transfer.run_once()
+        shrunk_results, _ = _run_ladder(store, fields, ranges, qoi, qoi_range, quick)
+        _assert_identical(cold_results, shrunk_results, f"{label}/post-demotion")
+    final = store.stats()
+    cold_trips = max(1, phases["cold"]["slow_round_trips"])
+    metrics = {
+        "fast_budget_bytes": budget,
+        "cold": {"seconds": cold_s, **phases["cold"]},
+        "promotion_cycle": {"seconds": promote_s, **moved},
+        "promoted": {"seconds": promoted_s, **phases["promoted"]},
+        "warm": {"seconds": warm_s, **phases["warm"]},
+        "promotions": final.promotions,
+        "promoted_bytes": final.promoted_bytes,
+        "demotions": final.demotions,
+        "fast_resident_bytes": final.fast_resident_bytes,
+        "cold_to_promoted_trip_reduction":
+            cold_trips / max(1, phases["promoted"]["slow_round_trips"]),
+        "cold_to_warm_trip_reduction":
+            cold_trips / max(1, phases["warm"]["slow_round_trips"]),
+        "identical": True,
+    }
+    return cold_results, metrics
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny sizes (CI smoke)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON trajectory file")
+    args = parser.parse_args(argv)
+
+    metrics = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        archive_dir, fields, ranges, qoi, qoi_range = _build_archive(tmp, args.quick)
+
+        t0 = time.perf_counter()
+        baseline_results, metrics["single_tier"] = bench_single_tier(
+            archive_dir, fields, ranges, qoi, qoi_range, args.quick
+        )
+        print(f"[single_tier] done in {time.perf_counter() - t0:.1f}s", flush=True)
+
+        t0 = time.perf_counter()
+        tiered_results, metrics["tiered"] = bench_tiered(
+            archive_dir, fields, ranges, qoi, qoi_range, args.quick
+        )
+        _assert_identical(baseline_results, tiered_results, "tiered-vs-baseline")
+        print(f"[tiered] done in {time.perf_counter() - t0:.1f}s", flush=True)
+
+        # budget at ~60% of what the unbounded run promoted: partial
+        # promotion plus real demotion traffic
+        budget = max(1, int(metrics["tiered"]["promoted_bytes"] * 0.6))
+        t0 = time.perf_counter()
+        budget_results, metrics["tiered_budget"] = bench_tiered(
+            archive_dir, fields, ranges, qoi, qoi_range, args.quick,
+            budget=budget, label="tiered_budget",
+        )
+        _assert_identical(baseline_results, budget_results, "tiered_budget-vs-baseline")
+        print(f"[tiered_budget] done in {time.perf_counter() - t0:.1f}s", flush=True)
+
+    run = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git": _git_rev(),
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "max_workers": MAX_WORKERS,
+        "metrics": metrics,
+    }
+
+    doc = {"schema": 1, "runs": []}
+    if args.out.exists():
+        try:
+            doc = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            pass
+    doc.setdefault("runs", []).append(run)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+
+    single = metrics["single_tier"]
+    for name in ("tiered", "tiered_budget"):
+        m = metrics[name]
+        print(
+            f"{name}: cold {m['cold']['slow_round_trips']} -> "
+            f"promoted {m['promoted']['slow_round_trips']} -> "
+            f"warm {m['warm']['slow_round_trips']} slow trips "
+            f"({m['cold_to_warm_trip_reduction']:.0f}x); "
+            f"cold {m['cold']['seconds']:.2f}s, warm {m['warm']['seconds']:.2f}s "
+            f"(single-tier ladder: {single['seconds']:.2f}s, "
+            f"{single['slow_round_trips_per_ladder']} trips); "
+            f"{m['promotions']} promoted, {m['demotions']} demoted"
+        )
+    print(f"trajectory appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

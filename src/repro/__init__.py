@@ -20,8 +20,9 @@ Typical usage::
     ])
     assert result.all_satisfied                           # guaranteed bound
 
-See README.md for the architecture overview, DESIGN.md for the system
-inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+See README.md for the overview, docs/architecture.md for the paper-to-
+code map, docs/storage.md for the storage fabric (store URLs, tiering,
+caching), and docs/performance.md for the measured perf trajectory.
 """
 
 from repro import (
@@ -75,7 +76,13 @@ from repro.storage import (
     Archive,
     FragmentCache,
     GlobusTransferModel,
+    HTTPFragmentServer,
+    HTTPFragmentStore,
+    KeyValueFragmentStore,
     ShardedDiskStore,
+    TieredStore,
+    TransferManager,
+    open_store,
 )
 from repro.compressors import PZFPRefactorer
 
@@ -101,4 +108,7 @@ __all__ = [
     # multi-client retrieval service
     "RetrievalService", "ClientSession", "RetrievalServer", "ServiceClient",
     "FragmentCache", "ShardedDiskStore",
+    # storage fabric
+    "open_store", "TieredStore", "TransferManager",
+    "HTTPFragmentServer", "HTTPFragmentStore", "KeyValueFragmentStore",
 ]

@@ -12,7 +12,7 @@ Wires the whole pipeline into six subcommands::
     python -m repro.cli stats    --port 7117          # or: --archive ar/
 
 ``archive`` refactors each ``name=path.npy`` variable into a
-fragment-addressable on-disk archive (one file per fragment; pass
+fragment-addressable archive (one object per fragment; pass
 ``--sharded`` for the hashed fan-out layout) and records the dataset
 manifest (shapes, value ranges) that Algorithm 2 needs.  ``retrieve``
 runs the QoI-preserved retrieval loop against the archive — lazily
@@ -22,8 +22,14 @@ reconstructed variables plus a JSON report of the guaranteed errors.
 ``serve`` exposes the archive to many concurrent clients over TCP behind
 a shared fragment cache; ``client`` runs one retrieval against a running
 server; ``stats`` prints either a running server's live counters (store
-reads/round trips, cache hit/miss/eviction rates) or a static summary of
-an archive directory.
+reads/round trips, cache hit/miss/eviction rates, per-tier promotion
+counters for tiered backends) or a static summary of an archive.
+
+Everywhere a command takes ``--archive`` (or ``archive --out``), it
+accepts either a directory path or a store URL — ``file://``,
+``sharded://``, ``memory://``, ``http://host:port`` (a running
+``HTTPFragmentServer``), or ``tiered://fast?slow=...`` (the tiered
+fabric; see ``docs/storage.md`` for the grammar).
 
 QoI specs: ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
 (pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
@@ -47,7 +53,13 @@ from repro.service.service import RetrievalService
 from repro.storage.archive import Archive
 from repro.storage.cache import DEFAULT_CACHE_BYTES
 from repro.storage.metadata import DatasetManifest, VariableMetadata
-from repro.storage.store import DiskFragmentStore, ShardedDiskStore, open_store
+from repro.storage.store import (
+    DiskFragmentStore,
+    ShardedDiskStore,
+    open_store,
+    split_store_url,
+)
+from repro.storage.tiered import TieredStore
 
 #: Kept as the public CLI name for the shared spec parser.
 build_qoi = qoi_from_spec
@@ -62,10 +74,21 @@ def _cmd_archive(args) -> int:
         variables[name] = np.load(path)
     refactorer = make_refactorer(args.method)
     refactored = refactor_dataset(variables, refactorer)
-    store_cls = ShardedDiskStore if getattr(args, "sharded", False) else DiskFragmentStore
-    store = store_cls(args.out)
+    scheme, rest = split_store_url(args.out)
+    if scheme is not None:  # archive straight into any URL-addressed backend
+        if getattr(args, "sharded", False):
+            raise SystemExit(
+                "--sharded only applies to plain directory paths; "
+                f"use a sharded:// URL instead of {args.out!r}"
+            )
+        store = open_store(args.out)
+        dataset = os.path.basename(rest.partition("?")[0].rstrip("/")) or "dataset"
+    else:
+        store_cls = ShardedDiskStore if getattr(args, "sharded", False) else DiskFragmentStore
+        store = store_cls(args.out)
+        dataset = os.path.basename(args.out.rstrip("/")) or "dataset"
     archive = Archive(store)
-    manifest = DatasetManifest(dataset=os.path.basename(args.out.rstrip("/")) or "dataset")
+    manifest = DatasetManifest(dataset=dataset)
     for name, data in variables.items():
         archive.save(name, refactored[name])
         manifest.add(
@@ -75,6 +98,7 @@ def _cmd_archive(args) -> int:
             )
         )
     manifest.save_to(store)
+    store.close()  # flushes write-back tiers; no-op for local stores
     total = sum(m.total_bytes for m in manifest.variables.values())
     raw = sum(v.nbytes for v in variables.values())
     print(f"archived {len(variables)} variable(s) with {args.method}: "
@@ -136,7 +160,25 @@ def _cmd_retrieve(args) -> int:
     print(f"retrieved {result.total_bytes} B in {result.rounds} round(s); "
           f"guaranteed QoI error {result.estimated_errors[args.qoi]:.3e} "
           f"({status}) -> {args.out}")
+    store.close()
     return 0 if result.all_satisfied else 2
+
+
+def _print_tier_stats(tiers: dict) -> None:
+    """Print one tiered backend's per-tier counter block."""
+    print(f"tiers: fast {tiers['fast_hits']} hit(s) "
+          f"({tiers['fast_bytes_served']} B, {tiers['fast_round_trips']} trip(s)) / "
+          f"slow {tiers['slow_hits']} hit(s) "
+          f"({tiers['slow_bytes_served']} B, {tiers['slow_round_trips']} trip(s))")
+    budget = (
+        f"{tiers['fast_budget_bytes']} B" if tiers["fast_budget_bytes"] else "unbounded"
+    )
+    print(f"  fast resident: {tiers['fast_resident_bytes']} B / {budget}; "
+          f"{tiers['promotions']} promotion(s) ({tiers['promoted_bytes']} B), "
+          f"{tiers['demotions']} demotion(s) ({tiers['demoted_bytes']} B)")
+    print(f"  write-back: {tiers['dirty_fragments']} dirty, "
+          f"{tiers['writebacks_flushed']} flushed; "
+          f"{tiers['transfer_cycles']} transfer cycle(s)")
 
 
 def _cmd_stats(args) -> int:
@@ -151,6 +193,11 @@ def _cmd_stats(args) -> int:
         for name in variables:
             print(f"    {name}: {len(store.segments(name))} segment(s), "
                   f"{store.nbytes(name)} B")
+        if isinstance(store, TieredStore):
+            from dataclasses import asdict
+
+            _print_tier_stats(asdict(store.stats()))
+        store.close()
         return 0
     try:
         client_ctx = ServiceClient(args.host, args.port)
@@ -175,6 +222,8 @@ def _cmd_stats(args) -> int:
     print(f"  resident: {cache['current_bytes']} / {cache['capacity_bytes']} B; "
           f"served {cache['bytes_from_cache']} B from cache, "
           f"{cache['bytes_from_store']} B from store")
+    if stats.get("tiers"):
+        _print_tier_stats(stats["tiers"])
     return 0
 
 
@@ -195,6 +244,7 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        service.close()  # stops a tiered backend's transfer thread
     return 0
 
 
@@ -246,7 +296,8 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_archive = sub.add_parser("archive", help="refactor variables into an archive")
-    p_archive.add_argument("--out", required=True, help="archive directory")
+    p_archive.add_argument("--out", required=True,
+                           help="archive directory or store URL (docs/storage.md)")
     p_archive.add_argument(
         "--method", default="pmgard_hb",
         choices=["psz3", "psz3_delta", "pmgard", "pmgard_hb", "pzfp"],
@@ -263,7 +314,8 @@ def make_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(func=_cmd_info)
 
     p_ret = sub.add_parser("retrieve", help="QoI-preserved retrieval")
-    p_ret.add_argument("--archive", required=True)
+    p_ret.add_argument("--archive", required=True,
+                       help="archive directory or store URL")
     p_ret.add_argument("--qoi", required=True,
                        help="identity | vtot | temperature | mach | product")
     p_ret.add_argument("--fields", required=True, help="comma-separated field names")
@@ -283,7 +335,8 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="serve an archive to concurrent clients over TCP"
     )
-    p_serve.add_argument("--archive", required=True)
+    p_serve.add_argument("--archive", required=True,
+                         help="archive directory or store URL")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=7117,
                          help="TCP port (0 picks an ephemeral port)")
@@ -300,7 +353,7 @@ def make_parser() -> argparse.ArgumentParser:
         "stats", help="store/cache counters of a server or an archive"
     )
     p_stats.add_argument("--archive", default=None,
-                         help="print a static summary of this archive directory")
+                         help="print a static summary of this archive directory/URL")
     p_stats.add_argument("--host", default="127.0.0.1")
     p_stats.add_argument("--port", type=int, default=7117,
                          help="query a running server's live counters")

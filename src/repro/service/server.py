@@ -157,6 +157,7 @@ class RetrievalServer(socketserver.ThreadingTCPServer):
 
     @property
     def address(self) -> tuple:
+        """``(host, port)`` actually bound (resolves ephemeral ports)."""
         return self.server_address[:2]
 
 
@@ -215,6 +216,7 @@ class ServiceClient:
         return response
 
     def close(self) -> None:
+        """Close the connection (the server ends this client's session)."""
         try:
             self._rfile.close()
         finally:

@@ -38,11 +38,17 @@ from repro.storage.archive import Archive
 from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
+from repro.storage.tiered import TieredStore, TierStats
 
 
 @dataclass
 class ServiceStats:
-    """Aggregate accounting of one :class:`RetrievalService`."""
+    """Aggregate accounting of one :class:`RetrievalService`.
+
+    ``tiers`` carries the per-tier counters
+    (:class:`~repro.storage.tiered.TierStats`) when the backing store is
+    a :class:`~repro.storage.tiered.TieredStore`, else ``None``.
+    """
 
     sessions_opened: int
     sessions_active: int
@@ -51,6 +57,7 @@ class ServiceStats:
     store_bytes_read: int
     store_round_trips: int
     cache: CacheStats
+    tiers: TierStats | None = None
 
 
 class RetrievalService:
@@ -122,10 +129,14 @@ class RetrievalService:
     def open(
         cls, archive_dir: str, sharded: bool | None = None, **kwargs
     ) -> "RetrievalService":
-        """Open a service over an on-disk archive directory.
+        """Open a service over an archive directory or store URL.
 
-        ``sharded=None`` auto-detects the layout from the persisted index
-        a :class:`ShardedDiskStore` leaves behind.
+        *archive_dir* accepts everything :func:`open_store` does —
+        a plain directory (``sharded=None`` auto-detects the layout from
+        the persisted index a :class:`ShardedDiskStore` leaves behind)
+        or a ``file://``/``sharded://``/``http://``/``tiered://`` URL.
+        A tiered backend's transfer thread is started so promotion runs
+        for the life of the service.
         """
         if sharded is None:
             store = open_store(archive_dir)
@@ -133,6 +144,8 @@ class RetrievalService:
             store = ShardedDiskStore(archive_dir)
         else:
             store = DiskFragmentStore(archive_dir)
+        if isinstance(store, TieredStore):
+            store.start_transfer()
         return cls(store, **kwargs)
 
     def variables(self) -> list:
@@ -142,6 +155,7 @@ class RetrievalService:
         return self.archive.variables()
 
     def value_range(self, variable: str) -> float:
+        """Algorithm 3's per-variable range; KeyError with guidance if unknown."""
         if variable not in self._ranges:
             raise KeyError(
                 f"no value range for variable {variable!r}; known: "
@@ -173,8 +187,15 @@ class RetrievalService:
         with self._lock:
             self._sessions_active -= 1
 
+    def close(self) -> None:
+        """Close the backing store (flushes and stops a tiered backend)."""
+        self._inner.close()
+
     def stats(self) -> ServiceStats:
-        """Snapshot of session, store, and cache accounting."""
+        """Snapshot of session, store, cache, and (if tiered) tier accounting."""
+        tiers: TierStats | None = None
+        if isinstance(self._inner, TieredStore):
+            tiers = self._inner.stats()
         with self._lock:
             return ServiceStats(
                 sessions_opened=self._sessions_opened,
@@ -184,6 +205,7 @@ class RetrievalService:
                 store_bytes_read=self._inner.bytes_read,
                 store_round_trips=self._inner.round_trips,
                 cache=self.cache.stats(),
+                tiers=tiers,
             )
 
 
@@ -237,6 +259,7 @@ class ClientSession:
         return self._session.bytes_retrieved(variable)
 
     def close(self) -> None:
+        """Mark the session closed (idempotent; further retrieves fail)."""
         if not self._closed:
             self._closed = True
             self._service._session_closed()

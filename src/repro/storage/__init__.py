@@ -1,8 +1,16 @@
 """Storage and data-movement substrates.
 
-* :mod:`repro.storage.store` — fragment stores (in-memory / on-disk /
-  sharded) with byte accounting, standing in for the PFS / tape tiers of
-  Fig. 1.
+* :mod:`repro.storage.store` — local fragment stores (in-memory /
+  on-disk / sharded) with byte accounting, plus :func:`open_store`, the
+  URL entry point over every backend (``file://``, ``sharded://``,
+  ``memory://``, ``http://``, ``tiered://``).
+* :mod:`repro.storage.remote` — the remote tier: in-process HTTP
+  object-store server/client with a coalesced batch endpoint, and the
+  key-value adapter for S3-style buckets.
+* :mod:`repro.storage.tiered` — the tiered fabric: fast tier over slow
+  tier with write-through/write-back puts and a background transfer
+  manager promoting hot fragments and demoting cold ones under a byte
+  budget.
 * :mod:`repro.storage.cache` — the shared, byte-budgeted LRU fragment
   cache that lets many clients retrieve through one archive without
   re-reading overlapping fragments from disk.
@@ -10,12 +18,16 @@
   refactoring metadata Algorithm 2 needs (shapes, value ranges).
 * :mod:`repro.storage.transfer` — the simulated Globus-like wide-area
   transfer model used to reproduce Fig. 9 (remote retrieval MCC→Anvil).
+
+See ``docs/storage.md`` for the store hierarchy, URL grammar, tiering
+policy, and a backend decision table.
 """
 
 from repro.storage.store import (
     DiskFragmentStore,
     FragmentStore,
     ShardedDiskStore,
+    open_directory_store,
     open_store,
 )
 from repro.storage.cache import CacheStats, CachingFragmentStore, FragmentCache
@@ -25,6 +37,15 @@ from repro.storage.metadata import (
     DatasetManifest,
     VariableMetadata,
 )
+from repro.storage.remote import (
+    HTTPFragmentServer,
+    HTTPFragmentStore,
+    InMemoryObjectBucket,
+    KeyValueFragmentStore,
+    ObjectBucket,
+    RemoteFragmentStore,
+)
+from repro.storage.tiered import TieredStore, TierStats, TransferManager
 from repro.storage.transfer import GlobusTransferModel, LatencyFragmentStore, TransferReport
 from repro.storage.archive import Archive, FragmentSource, prefetch_plans
 
@@ -33,6 +54,7 @@ __all__ = [
     "DiskFragmentStore",
     "ShardedDiskStore",
     "open_store",
+    "open_directory_store",
     "FragmentCache",
     "CachingFragmentStore",
     "CacheStats",
@@ -40,6 +62,15 @@ __all__ = [
     "DatasetManifest",
     "MANIFEST_VARIABLE",
     "MANIFEST_SEGMENT",
+    "RemoteFragmentStore",
+    "HTTPFragmentServer",
+    "HTTPFragmentStore",
+    "ObjectBucket",
+    "InMemoryObjectBucket",
+    "KeyValueFragmentStore",
+    "TieredStore",
+    "TierStats",
+    "TransferManager",
     "GlobusTransferModel",
     "LatencyFragmentStore",
     "TransferReport",

@@ -74,10 +74,17 @@ class FragmentSource:
         self._arrived = threading.Condition(self._lock)
 
     def fetched(self, segment: str) -> bool:
+        """Whether *segment* has already arrived (or been read) here."""
         with self._lock:
             return segment in self._seen
 
     def get(self, segment: str) -> bytes:
+        """One segment's payload, awaiting an in-flight batch if cheaper.
+
+        Falls back to a direct (correctness-safe, possibly duplicate)
+        store read when the batch does not land within
+        :data:`PENDING_WAIT_SECONDS`.
+        """
         with self._arrived:
             # a batch already carrying this segment is cheaper to await
             # than to race with another store read

@@ -21,6 +21,14 @@ the keys a caller claims are loaded with one ``store.get_many`` round
 trip, keys other callers are already loading are awaited and absorbed —
 so the retrieval engine's per-round fragment sets coalesce across
 concurrent clients into shared batched store passes.
+
+Waiters *pin* the keys they wait on: an entry another caller just loaded
+cannot be evicted (however tight the byte budget) until every waiter has
+picked it up, so an eviction racing a claimed batch never turns one
+store read into several.  Pins are reference counts, balanced in
+``finally`` blocks — they can never go negative and never outlive the
+request that took them — and eviction simply skips pinned entries (the
+budget may be exceeded transiently by at most the pinned bytes).
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total fragment requests (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -73,7 +82,20 @@ class FragmentCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict = OrderedDict()
         self._inflight: dict = {}  # key -> Event set when its load finishes
+        self._pins: dict = {}  # key -> waiter refcount; pinned entries dodge eviction
         self._stats = CacheStats(capacity_bytes=self.capacity_bytes)
+
+    # -- pinning (all callers hold self._lock) ---------------------------------
+
+    def _pin(self, key) -> None:
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _unpin(self, key) -> None:
+        count = self._pins.pop(key, 0)
+        if count > 1:
+            self._pins[key] = count - 1
+        elif count < 1:
+            raise AssertionError(f"unbalanced unpin of {key!r}")
 
     def __contains__(self, key) -> bool:
         with self._lock:
@@ -92,8 +114,12 @@ class FragmentCache:
         the store, and requests for other keys are never blocked.
         """
         key = (variable, segment)
+        pinned = False
         while True:
             with self._lock:
+                if pinned:
+                    self._unpin(key)
+                    pinned = False
                 if key in self._entries:
                     payload = self._entries.pop(key)
                     self._entries[key] = payload  # move to MRU position
@@ -105,9 +131,13 @@ class FragmentCache:
                     flight = threading.Event()
                     self._inflight[key] = flight
                     break  # this thread owns the load
+                # pin before waiting: once the in-flight load lands, its
+                # entry must survive eviction until this thread's re-check
+                self._pin(key)
+                pinned = True
             # another thread is loading this key; wait, then re-check (the
-            # entry may also be oversized/evicted, in which case we retry
-            # as the loader ourselves)
+            # entry may also be oversized or invalidated, in which case we
+            # retry as the loader ourselves)
             flight.wait()
         try:
             payload = bytes(loader())
@@ -143,56 +173,85 @@ class FragmentCache:
         """
         pending = list(dict.fromkeys((v, s) for v, s in keys))
         out: dict = {}
-        while pending:
-            owned: list = []
-            waits: list = []
-            with self._lock:
-                for key in pending:
-                    if key in self._entries:
-                        payload = self._entries.pop(key)
-                        self._entries[key] = payload  # move to MRU position
-                        self._stats.hits += 1
-                        self._stats.bytes_from_cache += len(payload)
-                        out[key] = payload
-                    elif key in self._inflight:
-                        waits.append((key, self._inflight[key]))
-                    else:
-                        flight = threading.Event()
-                        self._inflight[key] = flight
-                        owned.append((key, flight))
-            if owned:
-                # whatever happens — loader failure, a partial result
-                # dict, a non-bytes payload — every claimed flight must
-                # be released and signalled, or waiters block forever
-                try:
-                    loaded = loader_many([k for k, _ in owned])
-                    with self._lock:
-                        for key, flight in owned:
-                            payload = bytes(loaded[key])
-                            self._stats.misses += 1
-                            self._stats.bytes_from_store += len(payload)
-                            if len(payload) <= self.capacity_bytes:
-                                self._entries[key] = payload
-                                self._stats.current_bytes += len(payload)
+        pinned: set = set()  # keys this caller pinned while waiting on flights
+        try:
+            while pending:
+                owned: list = []
+                waits: list = []
+                with self._lock:
+                    for key in pending:
+                        if key in pinned:
+                            # the wait is over; release the pin inside the
+                            # same lock hold that serves (or reclaims) the
+                            # key, so eviction cannot slip in between
+                            self._unpin(key)
+                            pinned.discard(key)
+                        if key in self._entries:
+                            payload = self._entries.pop(key)
+                            self._entries[key] = payload  # move to MRU position
+                            self._stats.hits += 1
+                            self._stats.bytes_from_cache += len(payload)
                             out[key] = payload
-                        self._evict_to_budget()
-                finally:
-                    with self._lock:
-                        for key, _ in owned:
-                            self._inflight.pop(key, None)
-                    for _, flight in owned:
-                        flight.set()
-            for _, flight in waits:
-                flight.wait()
-            # waited keys re-check the cache on the next pass; an entry
-            # that was oversized or already evicted is retried as an
-            # owned load, mirroring the get_or_load loop
-            pending = [key for key, _ in waits]
+                        elif key in self._inflight:
+                            waits.append((key, self._inflight[key]))
+                            self._pin(key)  # the landing entry must outlive the wait
+                            pinned.add(key)
+                        else:
+                            flight = threading.Event()
+                            self._inflight[key] = flight
+                            owned.append((key, flight))
+                if owned:
+                    # whatever happens — loader failure, a partial result
+                    # dict, a non-bytes payload — every claimed flight must
+                    # be released and signalled, or waiters block forever
+                    try:
+                        loaded = loader_many([k for k, _ in owned])
+                        with self._lock:
+                            for key, flight in owned:
+                                payload = bytes(loaded[key])
+                                self._stats.misses += 1
+                                self._stats.bytes_from_store += len(payload)
+                                if len(payload) <= self.capacity_bytes:
+                                    self._entries[key] = payload
+                                    self._stats.current_bytes += len(payload)
+                                out[key] = payload
+                            self._evict_to_budget()
+                    finally:
+                        with self._lock:
+                            for key, _ in owned:
+                                self._inflight.pop(key, None)
+                        for _, flight in owned:
+                            flight.set()
+                for _, flight in waits:
+                    flight.wait()
+                # waited keys re-check the cache on the next pass; an entry
+                # that was invalidated or oversized is retried as an owned
+                # load, mirroring the get_or_load loop
+                pending = [key for key, _ in waits]
+        finally:
+            if pinned:
+                # loader blew up mid-batch: drop the leftover pins or the
+                # waited entries would dodge eviction forever
+                with self._lock:
+                    for key in pinned:
+                        self._unpin(key)
         return out
 
     def _evict_to_budget(self) -> None:
+        """Evict LRU-first down to the byte budget, skipping pinned keys.
+
+        A pinned entry has waiters between its load and their pickup;
+        evicting it would silently re-issue the store read the pin
+        exists to save.  When everything resident is pinned the budget
+        is exceeded transiently — the next unpinned insert re-converges.
+        """
         while self._stats.current_bytes > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
+            victim = next(
+                (k for k in self._entries if not self._pins.get(k)), None
+            )
+            if victim is None:
+                break  # every resident entry is pinned right now
+            evicted = self._entries.pop(victim)
             self._stats.current_bytes -= len(evicted)
             self._stats.evictions += 1
 
@@ -204,6 +263,7 @@ class FragmentCache:
                 self._stats.current_bytes -= len(payload)
 
     def clear(self) -> None:
+        """Drop every entry (counters other than residency are kept)."""
         with self._lock:
             self._entries.clear()
             self._stats.current_bytes = 0
@@ -230,10 +290,17 @@ class CachingFragmentStore(FragmentStore):
         self.cache = cache
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
+        """Write through to the inner store, invalidating any cached copy."""
         self.inner.put(variable, segment, payload)
         self.cache.invalidate(variable, segment)
 
+    def delete(self, variable: str, segment: str) -> None:
+        """Delete from the inner store, invalidating any cached copy."""
+        self.inner.delete(variable, segment)
+        self.cache.invalidate(variable, segment)
+
     def get(self, variable: str, segment: str) -> bytes:
+        """Read one fragment through the cache (at most one inner read)."""
         payload = self.cache.get_or_load(
             variable, segment, lambda: self.inner.get(variable, segment)
         )
@@ -255,19 +322,25 @@ class CachingFragmentStore(FragmentStore):
         return out
 
     def has(self, variable: str, segment: str) -> bool:
+        """Delegate to the inner store's index."""
         return self.inner.has(variable, segment)
 
     def keys(self) -> list:
+        """Delegate to the inner store's index."""
         return self.inner.keys()
 
     def variables(self) -> list:
+        """Delegate to the inner store's index."""
         return self.inner.variables()
 
     def size_of(self, variable: str, segment: str) -> int:
+        """Delegate to the inner store's index."""
         return self.inner.size_of(variable, segment)
 
     def segments(self, variable: str) -> list:
+        """Delegate to the inner store's index."""
         return self.inner.segments(variable)
 
     def nbytes(self, variable: str | None = None) -> int:
+        """Delegate to the inner store's index."""
         return self.inner.nbytes(variable)

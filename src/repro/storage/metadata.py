@@ -34,11 +34,13 @@ class VariableMetadata:
 
     @property
     def value_range(self) -> float:
+        """``max - min`` (1.0 for constant fields, so ratios stay finite)."""
         r = self.value_max - self.value_min
         return r if r > 0 else 1.0
 
     @classmethod
     def from_array(cls, name, data, compressor, total_bytes, segments=None):
+        """Build metadata by inspecting the original array."""
         import numpy as np
 
         data = np.asarray(data)
@@ -62,6 +64,7 @@ class DatasetManifest:
     variables: dict = field(default_factory=dict)
 
     def add(self, meta: VariableMetadata) -> None:
+        """Register (or replace) one variable's metadata."""
         self.variables[meta.name] = meta
 
     def value_ranges(self) -> dict:
@@ -69,6 +72,7 @@ class DatasetManifest:
         return {name: m.value_range for name, m in self.variables.items()}
 
     def to_json(self) -> str:
+        """Serialize to deterministic (sorted, indented) JSON."""
         payload = {
             "dataset": self.dataset,
             "variables": {k: asdict(v) for k, v in self.variables.items()},
@@ -77,6 +81,7 @@ class DatasetManifest:
 
     @classmethod
     def from_json(cls, payload: str) -> "DatasetManifest":
+        """Inverse of :meth:`to_json`."""
         raw = json.loads(payload)
         manifest = cls(dataset=raw["dataset"])
         for name, v in raw["variables"].items():

@@ -17,8 +17,16 @@ shrink the round-trip count without changing the fragment traffic, so the
 two counters are tracked separately.
 
 Byte totals and per-variable segment lists are maintained incrementally
-by ``put`` — ``nbytes``/``segments``/``size_of`` never rescan the index,
-which keeps them safe to call on retrieval hot paths.
+by ``put`` and ``delete`` — ``nbytes``/``segments``/``size_of`` never
+rescan the index, which keeps them safe to call on retrieval hot paths.
+``delete`` exists for the tiering layer (:mod:`repro.storage.tiered`):
+demoting a cold fragment out of a fast tier removes its file and appends
+a tombstone to the persisted index, so a reopened store stays consistent.
+
+:func:`open_store` is the one entry point deployments need: it accepts a
+plain directory path or a store URL (``file://``, ``sharded://``,
+``memory://``, ``http://``, ``tiered://`` — see ``docs/storage.md``) and
+returns the right backend, auto-detecting on-disk layouts.
 """
 
 from __future__ import annotations
@@ -64,7 +72,42 @@ def _read_layout_marker(archive_dir: str) -> dict | None:
     return marker if isinstance(marker, dict) else None
 
 
-def open_store(archive_dir: str) -> "FragmentStore":
+_URL_RE = re.compile(r"^([a-z][a-z0-9+.-]*)://(.*)$", re.IGNORECASE)
+
+#: Suffix multipliers accepted by byte-size URL parameters (binary units).
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def split_store_url(url: str) -> tuple:
+    """Split a store URL into ``(scheme, rest)``; plain paths get ``None``.
+
+    ``rest`` is everything after ``scheme://`` with no further parsing —
+    each scheme interprets its own path/query grammar.  Windows-style
+    drive letters never match (schemes must be at least two characters).
+    """
+    match = _URL_RE.match(url)
+    if match is None or len(match.group(1)) < 2:
+        return None, url
+    return match.group(1).lower(), match.group(2)
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional binary suffix (``64M``, ``2g``)."""
+    text = str(text).strip()
+    if text and text[-1].lower() in _SIZE_SUFFIXES:
+        return int(float(text[:-1]) * _SIZE_SUFFIXES[text[-1].lower()])
+    return int(text)
+
+
+def _split_query(rest: str) -> tuple:
+    """Split ``path?k=v&...`` into ``(path, {k: v})`` (last value wins)."""
+    from urllib.parse import parse_qsl
+
+    path, _, query = rest.partition("?")
+    return path, dict(parse_qsl(query, keep_blank_values=True))
+
+
+def open_directory_store(archive_dir: str) -> "FragmentStore":
     """Open an on-disk archive directory, auto-detecting its layout.
 
     A directory is sharded when it holds the persisted shard index or a
@@ -80,6 +123,47 @@ def open_store(archive_dir: str) -> "FragmentStore":
     ):
         return ShardedDiskStore(archive_dir)  # fan-out restored from the marker
     return DiskFragmentStore(archive_dir)
+
+
+def open_store(url: str) -> "FragmentStore":
+    """Open a fragment store from a directory path or a store URL.
+
+    Accepted forms (the full grammar lives in ``docs/storage.md``):
+
+    * a plain path or ``file://PATH`` — on-disk archive directory with
+      layout auto-detection (:func:`open_directory_store`),
+    * ``sharded://PATH[?fanout=N]`` — explicitly sharded layout,
+    * ``memory://`` — a fresh, empty in-process store (never persists),
+    * ``http://HOST:PORT`` — client for a running
+      :class:`~repro.storage.remote.HTTPFragmentServer`,
+    * ``tiered://FAST_DIR?slow=URL[&...]`` — a
+      :class:`~repro.storage.tiered.TieredStore` composing a fast tier
+      over any slow backend (itself an ``open_store`` URL).
+
+    Raises ``ValueError`` for an unknown scheme or malformed URL.
+    """
+    scheme, rest = split_store_url(url)
+    if scheme in (None, "file"):
+        return open_directory_store(rest)
+    if scheme == "memory":
+        return FragmentStore()
+    if scheme == "sharded":
+        path, params = _split_query(rest)
+        if not path:
+            raise ValueError(f"sharded:// URL needs a directory path: {url!r}")
+        return ShardedDiskStore(path, fanout=int(params.get("fanout", 256)))
+    if scheme == "http":
+        from repro.storage.remote import HTTPFragmentStore
+
+        return HTTPFragmentStore.from_url(url)
+    if scheme == "tiered":
+        from repro.storage.tiered import TieredStore
+
+        return TieredStore.from_url(url)
+    raise ValueError(
+        f"unknown store URL scheme {scheme!r} in {url!r} "
+        f"(known: file, sharded, memory, http, tiered)"
+    )
 
 
 class FragmentStore:
@@ -123,6 +207,17 @@ class FragmentStore:
         self._total_bytes += int(nbytes)
         self._var_bytes[variable] = self._var_bytes.get(variable, 0) + int(nbytes)
 
+    def _record_delete(self, variable: str, segment: str) -> None:
+        """Drop one fragment from the running index totals."""
+        nbytes = self._sizes.pop((variable, segment))
+        self._total_bytes -= nbytes
+        self._var_bytes[variable] -= nbytes
+        segments = self._var_segments[variable]
+        segments.remove(segment)
+        if not segments:
+            del self._var_segments[variable]
+            del self._var_bytes[variable]
+
     # -- write ----------------------------------------------------------------
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
@@ -131,6 +226,17 @@ class FragmentStore:
             raise TypeError("fragment payload must be bytes")
         self._data[(variable, segment)] = bytes(payload)
         self._record_put(variable, segment, len(payload))
+
+    def delete(self, variable: str, segment: str) -> None:
+        """Remove one fragment; KeyError when absent.
+
+        Exists for the tiering layer: demotion removes a fragment from a
+        fast tier once the slow tier durably holds it.
+        """
+        if (variable, segment) not in self._sizes:
+            raise KeyError((variable, segment))
+        self._data.pop((variable, segment), None)
+        self._record_delete(variable, segment)
 
     # -- read -----------------------------------------------------------------
 
@@ -167,6 +273,7 @@ class FragmentStore:
     # -- index ----------------------------------------------------------------
 
     def has(self, variable: str, segment: str) -> bool:
+        """Whether a fragment is archived (index-only; no payload read)."""
         return (variable, segment) in self._sizes
 
     def keys(self) -> list:
@@ -190,6 +297,21 @@ class FragmentStore:
         if variable is None:
             return self._total_bytes
         return self._var_bytes.get(variable, 0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (no-op for local stores).
+
+        Remote clients close their connections and tiered stores stop
+        their transfer thread here; callers may always call it.
+        """
+
+    def __enter__(self) -> "FragmentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class DiskFragmentStore(FragmentStore):
@@ -230,6 +352,15 @@ class DiskFragmentStore(FragmentStore):
                         continue
                     entry = json.loads(line)
                     var, seg = entry["variable"], entry["segment"]
+                    if entry.get("deleted"):
+                        # tombstone: un-index the key; the file name stays
+                        # in logged_files so a leftover file (unlink lost
+                        # to a crash) is not resurrected by the rescan
+                        if (var, seg) in self._sizes:
+                            self._data.pop((var, seg), None)
+                            self._record_delete(var, seg)
+                        logged_files.add(entry.get("file", ""))
+                        continue
                     nbytes = entry.get("nbytes")
                     if nbytes is None:  # log predates size tracking
                         try:
@@ -264,6 +395,7 @@ class DiskFragmentStore(FragmentStore):
         return os.path.join(self.root, f"{safe_var}__{safe_seg}.bin")
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
+        """Write one fragment file atomically and append to the key log."""
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
         path = self._path(variable, segment)
@@ -283,7 +415,29 @@ class DiskFragmentStore(FragmentStore):
             with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
                 fh.write(json.dumps(entry) + "\n")
 
+    def delete(self, variable: str, segment: str) -> None:
+        """Remove one fragment's file and append a tombstone to the log."""
+        with self._lock:
+            if (variable, segment) not in self._data:
+                raise KeyError((variable, segment))
+            path = self._path(variable, segment)
+            try:
+                os.remove(path)
+            except OSError:
+                pass  # already gone; the tombstone still un-indexes it
+            del self._data[(variable, segment)]
+            self._record_delete(variable, segment)
+            entry = {
+                "variable": variable,
+                "segment": segment,
+                "file": os.path.basename(path),
+                "deleted": True,
+            }
+            with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
+                fh.write(json.dumps(entry) + "\n")
+
     def get(self, variable: str, segment: str) -> bytes:
+        """Read one fragment file; KeyError when unindexed."""
         if (variable, segment) not in self._data:
             raise KeyError((variable, segment))
         with open(self._path(variable, segment), "rb") as fh:
@@ -294,6 +448,7 @@ class DiskFragmentStore(FragmentStore):
         return payload
 
     def get_many(self, keys) -> dict:
+        """Read a batch in filename order (one accounted round trip)."""
         keys = list(dict.fromkeys((v, s) for v, s in keys))
         with self._lock:
             missing = [k for k in keys if k not in self._data]
@@ -316,6 +471,7 @@ class DiskFragmentStore(FragmentStore):
         return out
 
     def nbytes(self, variable: str | None = None) -> int:
+        """Total archived bytes (lock-protected; maintained incrementally)."""
         with self._lock:
             return super().nbytes(variable)
 
@@ -358,6 +514,11 @@ class ShardedDiskStore(FragmentStore):
                         continue
                     entry = json.loads(line)
                     var, seg = entry["variable"], entry["segment"]
+                    if entry.get("deleted"):
+                        if (var, seg) in self._index:
+                            del self._index[(var, seg)]
+                            self._record_delete(var, seg)
+                        continue
                     self._index[(var, seg)] = entry["path"]
                     self._record_put(var, seg, int(entry["nbytes"]))
 
@@ -381,6 +542,7 @@ class ShardedDiskStore(FragmentStore):
         return os.path.join(shard, f"{safe_var}__{safe_seg}__{digest[:8]}.bin")
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
+        """Write one fragment into its hashed shard and log the index entry."""
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
         rel = self._relpath(variable, segment)
@@ -400,7 +562,23 @@ class ShardedDiskStore(FragmentStore):
             with open(self._log_path, "a") as fh:
                 fh.write(json.dumps(entry) + "\n")
 
+    def delete(self, variable: str, segment: str) -> None:
+        """Remove one fragment's file and append a tombstone to the index."""
+        with self._lock:
+            if (variable, segment) not in self._index:
+                raise KeyError((variable, segment))
+            rel = self._index.pop((variable, segment))
+            try:
+                os.remove(os.path.join(self.root, rel))
+            except OSError:
+                pass  # already gone; the tombstone still un-indexes it
+            self._record_delete(variable, segment)
+            entry = {"variable": variable, "segment": segment, "deleted": True}
+            with open(self._log_path, "a") as fh:
+                fh.write(json.dumps(entry) + "\n")
+
     def get(self, variable: str, segment: str) -> bytes:
+        """Read one fragment via the persisted index; KeyError when absent."""
         with self._lock:
             if (variable, segment) not in self._index:
                 raise KeyError((variable, segment))
@@ -413,6 +591,7 @@ class ShardedDiskStore(FragmentStore):
         return payload
 
     def get_many(self, keys) -> dict:
+        """Read a batch grouped per shard, each shard in filename order."""
         keys = list(dict.fromkeys((v, s) for v, s in keys))
         with self._lock:  # single index pass resolves every path up front
             missing = [k for k in keys if k not in self._index]
@@ -439,13 +618,16 @@ class ShardedDiskStore(FragmentStore):
         return {k: out[k] for k in keys}
 
     def has(self, variable: str, segment: str) -> bool:
+        """Whether the persisted index holds this key (no payload read)."""
         with self._lock:
             return (variable, segment) in self._index
 
     def keys(self) -> list:
+        """All indexed ``(variable, segment)`` keys, replay-ordered."""
         with self._lock:
             return list(self._index)
 
     def nbytes(self, variable: str | None = None) -> int:
+        """Total archived bytes (lock-protected; maintained incrementally)."""
         with self._lock:
             return super().nbytes(variable)

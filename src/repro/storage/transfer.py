@@ -46,6 +46,7 @@ class TransferReport:
     num_blocks: int
 
     def speedup_over(self, baseline: "TransferReport") -> float:
+        """End-to-end speedup of this transfer relative to *baseline*."""
         return baseline.total_time / self.total_time
 
 
@@ -173,9 +174,15 @@ class LatencyFragmentStore(FragmentStore):
         time.sleep(self.latency + nbytes / self.bandwidth)
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
+        """Write to the inner store (archival writes are not delayed)."""
         self.inner.put(variable, segment, payload)
 
+    def delete(self, variable: str, segment: str) -> None:
+        """Delete from the inner store (not delayed, like writes)."""
+        self.inner.delete(variable, segment)
+
     def get(self, variable: str, segment: str) -> bytes:
+        """Read one fragment, charging one latency + bandwidth sleep."""
         payload = self.inner.get(variable, segment)
         self._charge(len(payload))
         with self._stats_lock:
@@ -184,6 +191,7 @@ class LatencyFragmentStore(FragmentStore):
         return payload
 
     def get_many(self, keys) -> dict:
+        """Read a batch, charging the latency **once** for all of it."""
         out = self.inner.get_many(keys)
         self._charge(sum(len(p) for p in out.values()))
         with self._stats_lock:
@@ -193,19 +201,25 @@ class LatencyFragmentStore(FragmentStore):
         return out
 
     def has(self, variable: str, segment: str) -> bool:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.has(variable, segment)
 
     def keys(self) -> list:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.keys()
 
     def variables(self) -> list:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.variables()
 
     def segments(self, variable: str) -> list:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.segments(variable)
 
     def size_of(self, variable: str, segment: str) -> int:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.size_of(variable, segment)
 
     def nbytes(self, variable: str | None = None) -> int:
+        """Delegate to the inner store (metadata is not delayed)."""
         return self.inner.nbytes(variable)

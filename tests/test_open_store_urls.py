@@ -1,0 +1,201 @@
+"""Round-trip property tests for every ``open_store`` URL scheme.
+
+The contract under test (and documented in ``docs/storage.md``): opening
+a URL, archiving fragments, and reopening the *same* URL yields a store
+with an identical index (keys, sizes, per-variable segments, byte
+totals), identical payloads, **reset** read counters, and the correct
+auto-detected backend class.  Deletions survive reopening too (the
+tombstone log).  ``memory://`` is the documented exception — it never
+persists, and each open is a fresh empty store.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.remote import HTTPFragmentServer, HTTPFragmentStore
+from repro.storage.store import (
+    DiskFragmentStore,
+    FragmentStore,
+    ShardedDiskStore,
+    open_store,
+    parse_bytes,
+    split_store_url,
+)
+from repro.storage.tiered import TieredStore
+
+# Safe key alphabet: the flat disk layout maps distinct keys that differ
+# only by sanitized characters onto one file (a known limitation of the
+# flat layout; the sharded layout disambiguates with a digest suffix).
+_name = st.text("abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1, max_size=12)
+_fragments = st.dictionaries(
+    st.tuples(_name, _name),
+    st.binary(min_size=0, max_size=64),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _url_builders(tmp_path):
+    """One (scheme-name, url) per persistent scheme, rooted under *tmp_path*."""
+    return [
+        ("plain-path", str(tmp_path / "plain")),
+        ("file", f"file://{tmp_path / 'file'}"),
+        ("sharded", f"sharded://{tmp_path / 'sharded'}?fanout=8"),
+        (
+            "tiered",
+            f"tiered://{tmp_path / 'tier-fast'}?slow=sharded://{tmp_path / 'tier-slow'}",
+        ),
+    ]
+
+
+def _assert_same_index(reopened, expected: dict, context: str):
+    assert set(reopened.keys()) == set(expected), context
+    for (var, seg), payload in expected.items():
+        assert reopened.has(var, seg), context
+        assert reopened.size_of(var, seg) == len(payload), context
+    variables = {var for var, _ in expected}
+    for var in variables:
+        assert set(reopened.segments(var)) == {
+            seg for v, seg in expected if v == var
+        }, context
+        assert reopened.nbytes(var) == sum(
+            len(p) for (v, _), p in expected.items() if v == var
+        ), context
+    assert reopened.nbytes() == sum(len(p) for p in expected.values()), context
+    # counters reset on reopen: a fresh handle has served nothing
+    assert reopened.reads == 0 and reopened.bytes_read == 0, context
+    assert reopened.round_trips == 0, context
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(fragments=_fragments)
+def test_roundtrip_property_all_disk_schemes(tmp_path_factory, fragments):
+    """put → reopen via the same URL → identical index, counters reset."""
+    tmp_path = tmp_path_factory.mktemp("urls")
+    for name, url in _url_builders(tmp_path):
+        store = open_store(url)
+        for (var, seg), payload in fragments.items():
+            store.put(var, seg, payload)
+        store.close()
+
+        reopened = open_store(url)
+        _assert_same_index(reopened, fragments, f"{name}: {url}")
+        got = reopened.get_many(list(fragments))
+        assert got == fragments, name
+        reopened.close()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(fragments=_fragments, data=st.data())
+def test_deletions_survive_reopen(tmp_path_factory, fragments, data):
+    """Tombstoned fragments stay deleted across reopen on every disk scheme."""
+    tmp_path = tmp_path_factory.mktemp("urls-del")
+    doomed = data.draw(
+        st.lists(st.sampled_from(sorted(fragments)), unique=True, max_size=3)
+    )
+    for name, url in _url_builders(tmp_path):
+        store = open_store(url)
+        for (var, seg), payload in fragments.items():
+            store.put(var, seg, payload)
+        for var, seg in doomed:
+            store.delete(var, seg)
+        store.close()
+
+        survivors = {k: v for k, v in fragments.items() if k not in doomed}
+        reopened = open_store(url)
+        _assert_same_index(reopened, survivors, f"{name}: {url}")
+        for var, seg in doomed:
+            with pytest.raises(KeyError):
+                reopened.get(var, seg)
+        reopened.close()
+
+
+class TestLayoutAutoDetection:
+    def test_plain_path_reopens_sharded_layout(self, tmp_path):
+        url = f"sharded://{tmp_path / 'ar'}?fanout=4"
+        store = open_store(url)
+        store.put("v", "s0", b"x")
+        # a bare path must find the sharded layout (marker + index)
+        reopened = open_store(str(tmp_path / "ar"))
+        assert isinstance(reopened, ShardedDiskStore)
+        assert reopened.fanout == 4
+        assert reopened.get("v", "s0") == b"x"
+
+    def test_plain_path_reopens_flat_layout(self, tmp_path):
+        store = open_store(str(tmp_path / "ar"))
+        assert isinstance(store, DiskFragmentStore)
+        store.put("v", "s0", b"x")
+        assert isinstance(open_store(f"file://{tmp_path / 'ar'}"), DiskFragmentStore)
+
+    def test_tiered_reopen_autodetects_fast_layout(self, tmp_path):
+        url = (
+            f"tiered://{tmp_path / 'fast'}?slow=sharded://{tmp_path / 'slow'}"
+            f"&promote_after=1"
+        )
+        store = open_store(url)
+        store.put("v", "s0", b"payload")
+        store.get("v", "s0")
+        store.transfer.run_once()
+        store.close()
+        reopened = open_store(url)
+        assert isinstance(reopened, TieredStore)
+        assert isinstance(reopened.slow, ShardedDiskStore)
+        assert reopened.resident("v", "s0")  # fast-tier residency recovered
+        assert reopened.get("v", "s0") == b"payload"
+        assert reopened.stats().fast_hits == 1
+        reopened.close()
+
+
+class TestHTTPScheme:
+    def test_http_reopen_sees_identical_index_with_reset_counters(self, tmp_path):
+        disk = ShardedDiskStore(str(tmp_path / "ar"))
+        fragments = {("v", f"s{i}"): bytes([i]) * (i + 1) for i in range(5)}
+        with HTTPFragmentServer(disk) as server:
+            first = open_store(server.url)
+            assert isinstance(first, HTTPFragmentStore)
+            for (var, seg), payload in fragments.items():
+                first.put(var, seg, payload)
+            first.get_many(list(fragments))
+            assert first.reads == 5
+            first.close()
+
+            reopened = open_store(server.url)
+            _assert_same_index(reopened, fragments, server.url)
+            assert reopened.get_many(list(fragments)) == fragments
+            reopened.close()
+
+
+class TestMemoryScheme:
+    def test_memory_is_fresh_and_empty_each_open(self):
+        store = open_store("memory://")
+        assert isinstance(store, FragmentStore)
+        assert store.keys() == [] and store.reads == 0
+        store.put("v", "s", b"x")
+        again = open_store("memory://")  # documented: never persists
+        assert again.keys() == []
+
+
+class TestURLParsing:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            open_store("ftp://somewhere/archive")
+
+    def test_windows_style_drive_is_a_path(self):
+        scheme, rest = split_store_url("C://not-a-scheme")
+        assert scheme is None
+
+    def test_split_store_url(self):
+        assert split_store_url("/plain/path") == (None, "/plain/path")
+        assert split_store_url("sharded:///a/b?fanout=2") == (
+            "sharded",
+            "/a/b?fanout=2",
+        )
+
+    def test_parse_bytes_suffixes(self):
+        assert parse_bytes("1024") == 1024
+        assert parse_bytes("1k") == 1024
+        assert parse_bytes("2M") == 2 << 20
+        assert parse_bytes("1.5g") == int(1.5 * (1 << 30))
+        with pytest.raises(ValueError):
+            parse_bytes("lots")
