@@ -62,6 +62,7 @@ from repro.core import (
     assign_eb,
     mach_number,
     molar_product,
+    ingest_dataset,
     reassign_eb,
     refactor_dataset,
     speed_of_sound,
@@ -102,7 +103,7 @@ __all__ = [
     "mach_number", "total_pressure", "viscosity", "molar_product",
     # retrieval framework
     "QoIRequest", "QoIRetriever", "RetrievalResult", "refactor_dataset",
-    "assign_eb", "reassign_eb", "ZeroMask",
+    "ingest_dataset", "assign_eb", "reassign_eb", "ZeroMask",
     # datasets & transfer
     "TABLE3", "load_dataset", "GlobusTransferModel", "Archive", "PZFPRefactorer",
     # multi-client retrieval service

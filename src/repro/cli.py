@@ -1,8 +1,9 @@
-"""Command-line interface: archive, inspect, retrieve, and serve datasets.
+"""Command-line interface: archive, ingest, inspect, retrieve, and serve.
 
-Wires the whole pipeline into six subcommands::
+Wires the whole pipeline into seven subcommands::
 
     python -m repro.cli archive  --out ar/ --method pmgard_hb p=pressure.npy d=density.npy
+    python -m repro.cli ingest   --archive ar/ --method pmgard_hb t=temperature.npy
     python -m repro.cli info     --archive ar/
     python -m repro.cli retrieve --archive ar/ --qoi product --fields p,d \\
         --tolerance 1e-4 --out rec/
@@ -14,16 +15,22 @@ Wires the whole pipeline into six subcommands::
 ``archive`` refactors each ``name=path.npy`` variable into a
 fragment-addressable archive (one object per fragment; pass
 ``--sharded`` for the hashed fan-out layout) and records the dataset
-manifest (shapes, value ranges) that Algorithm 2 needs.  ``retrieve``
-runs the QoI-preserved retrieval loop against the archive — lazily
-loaded and driven by the pipelined engine (``--pipeline-depth`` /
+manifest (shapes, value ranges) that Algorithm 2 needs.  ``ingest`` is
+its streaming sibling for archives that already exist: variables are
+refactored on ``--workers`` parallel encode threads and flushed with
+byte-balanced coalesced ``put_many`` batches (``--flush-bytes``),
+adding or replacing variables — or appending ``--timestep`` qualified
+steps — without rewriting untouched fragments.  ``retrieve`` runs the
+QoI-preserved retrieval loop against the archive — lazily loaded and
+driven by the pipelined engine (``--pipeline-depth`` /
 ``--fetch-workers`` tune it, ``--serial`` disables it) — and writes the
 reconstructed variables plus a JSON report of the guaranteed errors.
 ``serve`` exposes the archive to many concurrent clients over TCP behind
 a shared fragment cache; ``client`` runs one retrieval against a running
 server; ``stats`` prints either a running server's live counters (store
-reads/round trips, cache hit/miss/eviction rates, per-tier promotion
-counters for tiered backends) or a static summary of an archive.
+reads/round trips and puts/bytes written, cache hit/miss/eviction
+rates, per-tier promotion counters for tiered backends) or a static
+summary of an archive.
 
 Everywhere a command takes ``--archive`` (or ``archive --out``), it
 accepts either a directory path or a store URL — ``file://``,
@@ -45,6 +52,12 @@ import sys
 import numpy as np
 
 from repro.compressors.base import make_refactorer
+from repro.core.ingest import (
+    DEFAULT_FLUSH_BYTES,
+    DEFAULT_INGEST_WORKERS,
+    ingest_dataset,
+    update_manifest,
+)
 from repro.core.pipeline import DEFAULT_MAX_WORKERS, DEFAULT_PIPELINE_DEPTH
 from repro.core.qois import qoi_from_spec
 from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
@@ -57,6 +70,7 @@ from repro.storage.store import (
     DiskFragmentStore,
     ShardedDiskStore,
     open_store,
+    parse_bytes,
     split_store_url,
 )
 from repro.storage.tiered import TieredStore
@@ -65,13 +79,19 @@ from repro.storage.tiered import TieredStore
 build_qoi = qoi_from_spec
 
 
-def _cmd_archive(args) -> int:
+def _load_variables(pairs) -> dict:
+    """Parse ``name=path.npy`` CLI arguments into ``{name: ndarray}``."""
     variables = {}
-    for pair in args.variables:
+    for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"expected name=path.npy, got {pair!r}")
         name, path = pair.split("=", 1)
         variables[name] = np.load(path)
+    return variables
+
+
+def _cmd_archive(args) -> int:
+    variables = _load_variables(args.variables)
     refactorer = make_refactorer(args.method)
     refactored = refactor_dataset(variables, refactorer)
     scheme, rest = split_store_url(args.out)
@@ -103,6 +123,41 @@ def _cmd_archive(args) -> int:
     raw = sum(v.nbytes for v in variables.values())
     print(f"archived {len(variables)} variable(s) with {args.method}: "
           f"{total / 1e6:.2f} MB ({raw / 1e6:.2f} MB raw) -> {args.out}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    variables = _load_variables(args.variables)
+    store = open_store(args.archive)
+    try:
+        manifest = DatasetManifest.load_from(store)
+    except KeyError:  # first ingest into a fresh (or manifest-less) archive
+        scheme, rest = split_store_url(args.archive)
+        path = (rest if scheme is not None else args.archive).partition("?")[0]
+        manifest = DatasetManifest(
+            dataset=os.path.basename(path.rstrip("/")) or "dataset"
+        )
+    report = ingest_dataset(
+        store,
+        variables,
+        make_refactorer(args.method),
+        workers=args.workers,
+        flush_bytes=parse_bytes(args.flush_bytes),
+        timestep=args.timestep,
+    )
+    update_manifest(
+        manifest, store, variables, args.method, report, timestep=args.timestep
+    )
+    manifest.save_to(store)
+    store.close()  # flushes write-back tiers; no-op for local stores
+    superseded = (
+        f", {report.superseded} superseded fragment(s) tombstoned"
+        if report.superseded else ""
+    )
+    print(f"ingested {len(variables)} variable(s) with {args.method}: "
+          f"{report.fragments} fragment(s) ({report.bytes_written / 1e6:.2f} MB) "
+          f"in {report.flushes} batched flush(es), {report.seconds:.2f}s"
+          f"{superseded} -> {args.archive}")
     return 0
 
 
@@ -190,6 +245,8 @@ def _cmd_stats(args) -> int:
         print(f"  variables: {len(variables)}")
         print(f"  fragments: {len(store.keys())}")
         print(f"  archived bytes: {store.nbytes()}")
+        print(f"  writes this handle: {store.puts} put(s) in "
+              f"{store.put_round_trips} round trip(s), {store.bytes_written} B")
         for name in variables:
             print(f"    {name}: {len(store.segments(name))} segment(s), "
                   f"{store.nbytes(name)} B")
@@ -215,6 +272,10 @@ def _cmd_stats(args) -> int:
     print(f"store: {stats['store_reads']} fragment read(s) in "
           f"{stats['store_round_trips']} round trip(s), "
           f"{stats['store_bytes_read']} B")
+    print(f"  writes: {stats['store_puts']} put(s) in "
+          f"{stats['store_put_round_trips']} round trip(s), "
+          f"{stats['store_bytes_written']} B; "
+          f"{stats['variables_ingested']} variable(s) ingested live")
     requests = cache["hits"] + cache["misses"]
     print(f"cache: {cache['hits']} hit(s) / {cache['misses']} miss(es) "
           f"({100.0 * cache['hit_rate']:.1f}% of {requests} request(s)), "
@@ -308,6 +369,25 @@ def make_parser() -> argparse.ArgumentParser:
         help="hashed fan-out directory layout with a persisted index",
     )
     p_archive.set_defaults(func=_cmd_archive)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="stream variables into an existing archive in parallel"
+    )
+    p_ingest.add_argument("--archive", required=True,
+                          help="archive directory or store URL (docs/storage.md)")
+    p_ingest.add_argument(
+        "--method", default="pmgard_hb",
+        choices=["psz3", "psz3_delta", "pmgard", "pmgard_hb"],
+    )
+    p_ingest.add_argument("variables", nargs="+", metavar="name=path.npy")
+    p_ingest.add_argument("--workers", type=int, default=DEFAULT_INGEST_WORKERS,
+                          help="parallel transform+encode threads (0 encodes serially)")
+    p_ingest.add_argument("--flush-bytes", default=str(DEFAULT_FLUSH_BYTES),
+                          help="coalesced put_many flush threshold "
+                               "(binary suffixes allowed, e.g. 4M)")
+    p_ingest.add_argument("--timestep", type=int, default=None,
+                          help="append variables as NAME@tNNNN timestep keys")
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_info = sub.add_parser("info", help="list archived variables")
     p_info.add_argument("--archive", required=True)

@@ -16,6 +16,10 @@
 * :mod:`repro.core.pipeline` — the batched fetch/decode pipeline the
   retrieval loop drives: coalesced ``get_many`` round fetches plus
   bounded speculative prefetch of the predicted next round.
+* :mod:`repro.core.ingest` — the write-side mirror: the streaming
+  ingestion engine (parallel transform+encode workers feeding
+  byte-balanced coalesced ``put_many`` flushes, incremental archive
+  updates).
 """
 
 from repro.core.estimators import (
@@ -51,6 +55,7 @@ from repro.core.qois import (
 from repro.core.extensions import Abs, Clip, DomainReduce, Maximum, Minimum, MovingAverage
 from repro.core.assigner import assign_eb, reassign_eb
 from repro.core.masking import ZeroMask
+from repro.core.ingest import IngestConfig, IngestPipeline, IngestReport, ingest_dataset
 from repro.core.pipeline import FetchPipeline, PipelineConfig
 from repro.core.retrieval import (
     QoIRequest,
@@ -101,4 +106,8 @@ __all__ = [
     "refactor_dataset",
     "PipelineConfig",
     "FetchPipeline",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestReport",
+    "ingest_dataset",
 ]

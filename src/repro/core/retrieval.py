@@ -244,6 +244,20 @@ class RetrievalSession:
             return self._readers[variable].bytes_retrieved if variable in self._readers else 0
         return sum(r.bytes_retrieved for r in self._readers.values())
 
+    def reset_variable(self, variable: str) -> None:
+        """Forget this session's reader state for one variable.
+
+        Used by the service layer when a live ingest replaces a
+        variable: the old reader decodes fragments of the superseded
+        representation, so the next retrieve must open a fresh reader
+        (paying the variable's fragments again) rather than mix
+        representations.  Also drops it from the cumulative
+        ``bytes_retrieved`` totals.
+        """
+        self._readers.pop(variable, None)
+        self._ebs.pop(variable, None)
+        self._achieved.pop(variable, None)
+
     def retrieve(
         self,
         requests,

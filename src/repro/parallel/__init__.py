@@ -14,6 +14,7 @@ from repro.parallel.blocks import (
     BlockedDataset,
     block_variable,
     blockwise_archive,
+    blockwise_ingest,
     blockwise_refactor,
     blockwise_retrieve,
     blockwise_retrieve_service,
@@ -24,6 +25,7 @@ __all__ = [
     "BlockedDataset",
     "block_variable",
     "blockwise_archive",
+    "blockwise_ingest",
     "blockwise_refactor",
     "blockwise_retrieve",
     "blockwise_retrieve_service",

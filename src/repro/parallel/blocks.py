@@ -27,6 +27,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.ingest import (
+    DEFAULT_FLUSH_BYTES,
+    DEFAULT_INGEST_WORKERS,
+    ingest_dataset,
+    update_manifest,
+)
 from repro.core.retrieval import QoIRequest, QoIRetriever, refactor_dataset
 from repro.storage.metadata import DatasetManifest, VariableMetadata
 
@@ -196,6 +202,40 @@ def blockwise_archive(
                 )
             )
     manifest.save_to(archive.store)
+    return manifest
+
+
+def blockwise_ingest(
+    blocked: BlockedDataset,
+    store,
+    refactorer,
+    method: str = "unknown",
+    dataset: str = "blocked",
+    workers: int = DEFAULT_INGEST_WORKERS,
+    flush_bytes: int = DEFAULT_FLUSH_BYTES,
+) -> DatasetManifest:
+    """Stream a blocked dataset into a store through the ingestion engine.
+
+    The parallel sibling of :func:`blockwise_archive` for data that has
+    not been refactored yet: every block-qualified variable is
+    refactored on the engine's transform+encode workers and archived in
+    byte-balanced coalesced ``put_many`` flushes
+    (:func:`repro.core.ingest.ingest_dataset`), producing an archive
+    bit-identical to ``blockwise_refactor`` + :func:`blockwise_archive`.
+    The manifest is written at the reserved key, so the result is
+    directly servable by a
+    :class:`~repro.service.service.RetrievalService`.
+    """
+    named = {}
+    for b, block in enumerate(blocked.blocks):
+        for name, data in block.items():
+            named[block_variable(name, b)] = data
+    report = ingest_dataset(
+        store, named, refactorer, workers=workers, flush_bytes=flush_bytes
+    )
+    manifest = DatasetManifest(dataset=dataset)
+    update_manifest(manifest, store, named, method, report)
+    manifest.save_to(store)
     return manifest
 
 

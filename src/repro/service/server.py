@@ -10,6 +10,10 @@ line in each direction — so any language can speak it:
 * ``{"op": "retrieve", "qoi": "vtot", "fields": [...], "tolerance": 1e-4,
   "qoi_range": 350.0, "include_data": true}`` → the retrieval report,
   optionally with base64-encoded ``.npy`` payloads per variable,
+* ``{"op": "ingest", "variables": {"p": "<b64 .npy>"}, "method":
+  "pmgard_hb"}`` → absorb new or updated variables into the live
+  archive through the streaming ingestion engine (optionally with
+  ``workers`` / ``flush_bytes`` / ``timestep``), returning its report,
 * ``{"op": "stats"}`` → service/cache accounting.
 
 Because the session persists for the life of the connection, a client
@@ -138,6 +142,22 @@ class _ClientHandler(socketserver.StreamRequestHandler):
                     name: encode_array(data) for name, data in result.data.items()
                 }
             return response
+        if op == "ingest":
+            arrays = {
+                str(name): decode_array(payload)
+                for name, payload in dict(request["variables"]).items()
+            }
+            workers = request.get("workers")
+            flush_bytes = request.get("flush_bytes")
+            timestep = request.get("timestep")
+            report = service.ingest(
+                arrays,
+                method=str(request.get("method", "pmgard_hb")),
+                workers=None if workers is None else int(workers),
+                flush_bytes=None if flush_bytes is None else int(flush_bytes),
+                timestep=None if timestep is None else int(timestep),
+            )
+            return {"ok": True, "report": asdict(report)}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
 
@@ -214,6 +234,36 @@ class ServiceClient:
         # non-finite errors travel as strings (see _json_safe)
         response["estimated_error"] = float(response["estimated_error"])
         return response
+
+    def ingest(
+        self,
+        variables: dict,
+        method: str = "pmgard_hb",
+        workers: int | None = None,
+        flush_bytes: int | None = None,
+        timestep: int | None = None,
+    ) -> dict:
+        """Push new or updated variables into the server's live archive.
+
+        *variables* maps names to arrays (serialized as base64 ``.npy``
+        on the wire); the server runs the streaming ingestion engine and
+        answers with its :class:`~repro.core.ingest.IngestReport` as a
+        plain dict.
+        """
+        payload = {
+            "op": "ingest",
+            "variables": {
+                name: encode_array(data) for name, data in variables.items()
+            },
+            "method": method,
+        }
+        if workers is not None:
+            payload["workers"] = int(workers)
+        if flush_bytes is not None:
+            payload["flush_bytes"] = int(flush_bytes)
+        if timestep is not None:
+            payload["timestep"] = int(timestep)
+        return self._call(payload)["report"]
 
     def close(self) -> None:
         """Close the connection (the server ends this client's session)."""

@@ -32,6 +32,14 @@ import threading
 from dataclasses import dataclass
 
 from repro.core.assigner import DEFAULT_REDUCTION_FACTOR
+from repro.core.ingest import (
+    DEFAULT_FLUSH_BYTES,
+    DEFAULT_INGEST_WORKERS,
+    IngestConfig,
+    IngestPipeline,
+    IngestReport,
+    update_manifest,
+)
 from repro.core.pipeline import DEFAULT_MAX_WORKERS, DEFAULT_PIPELINE_DEPTH, PipelineConfig
 from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
 from repro.storage.archive import Archive
@@ -39,6 +47,7 @@ from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
 from repro.storage.tiered import TieredStore, TierStats
+from repro.utils.fragment_keys import timestep_variable
 
 
 @dataclass
@@ -47,7 +56,10 @@ class ServiceStats:
 
     ``tiers`` carries the per-tier counters
     (:class:`~repro.storage.tiered.TierStats`) when the backing store is
-    a :class:`~repro.storage.tiered.TieredStore`, else ``None``.
+    a :class:`~repro.storage.tiered.TieredStore`, else ``None``.  The
+    ``store_puts`` / ``store_bytes_written`` / ``store_put_round_trips``
+    triple mirrors the read-side store counters for the write path
+    (live ingestion through :meth:`RetrievalService.ingest`).
     """
 
     sessions_opened: int
@@ -58,6 +70,10 @@ class ServiceStats:
     store_round_trips: int
     cache: CacheStats
     tiers: TierStats | None = None
+    store_puts: int = 0
+    store_bytes_written: int = 0
+    store_put_round_trips: int = 0
+    variables_ingested: int = 0
 
 
 class RetrievalService:
@@ -121,9 +137,12 @@ class RetrievalService:
         if value_ranges:
             self._ranges.update({k: float(v) for k, v in value_ranges.items()})
         self._lock = threading.Lock()
+        self._ingest_lock = threading.Lock()  # one ingest mutates at a time
+        self._generations: dict = {}  # variable -> live-ingest version
         self._sessions_opened = 0
         self._sessions_active = 0
         self._variables_loaded = 0
+        self._variables_ingested = 0
 
     @classmethod
     def open(
@@ -151,8 +170,22 @@ class RetrievalService:
     def variables(self) -> list:
         """Names of the variables this service can retrieve."""
         if self.manifest is not None:
-            return sorted(self.manifest.variables)
+            # under the lock: a live ingest mutates the manifest dict,
+            # and iterating it concurrently would raise
+            with self._lock:
+                return sorted(self.manifest.variables)
         return self.archive.variables()
+
+    def variable_generation(self, variable: str) -> int:
+        """Monotonic per-variable version, bumped by every live ingest.
+
+        Client sessions compare this against the generation they loaded
+        a variable at, so a replaced variable is re-resolved (fresh
+        representation, reset reader state) on the session's next
+        retrieve instead of mixing superseded fragments forever.
+        """
+        with self._lock:
+            return self._generations.get(variable, 0)
 
     def value_range(self, variable: str) -> float:
         """Algorithm 3's per-variable range; KeyError with guidance if unknown."""
@@ -173,6 +206,77 @@ class RetrievalService:
         return self.archive.load(
             variable, lazy=self.lazy_loading if lazy is None else lazy
         )
+
+    def ingest(
+        self,
+        variables: dict,
+        method: str = "pmgard_hb",
+        workers: int | None = None,
+        flush_bytes: int | None = None,
+        timestep: int | None = None,
+    ) -> IngestReport:
+        """Absorb new or updated variables into the live archive.
+
+        Runs the streaming ingestion engine
+        (:class:`~repro.core.ingest.IngestPipeline`) against the
+        service's caching store, so every batched write invalidates the
+        shared cache's stale entries — a replaced variable can never be
+        served from cache memory after this call returns.  The dataset
+        manifest, the service's value ranges, and the per-variable
+        generations are updated: new sessions see the new data
+        immediately, and existing sessions re-resolve a replaced
+        variable (fresh representation, reset reader state) at their
+        *next* retrieve.  The one unguarded window is a retrieval
+        actively decoding a variable while this call replaces it — that
+        retrieval may fail or mix representations; *appending* new
+        variables or timesteps (the continuous-update scenario) is
+        always safe for concurrent readers.
+
+        *variables* maps names to arrays; *method* selects the
+        progressive compressor; *timestep* appends each variable under
+        its :func:`~repro.utils.fragment_keys.timestep_variable`
+        qualified name.  Concurrent ingests serialize on a lock (client
+        retrievals are never blocked).  Returns the engine's
+        :class:`~repro.core.ingest.IngestReport`.
+        """
+        from repro.compressors.base import make_refactorer
+
+        config = IngestConfig(
+            workers=DEFAULT_INGEST_WORKERS if workers is None else int(workers),
+            flush_bytes=(
+                DEFAULT_FLUSH_BYTES if flush_bytes is None else int(flush_bytes)
+            ),
+        )
+        refactorer = make_refactorer(method)
+        with self._ingest_lock:
+            report = IngestPipeline(self.store, config).ingest(
+                variables, refactorer, timestep=timestep
+            )
+            with self._lock:
+                if self.manifest is None:
+                    self.manifest = DatasetManifest(dataset="live")
+                update_manifest(
+                    self.manifest, self.store, variables, method, report,
+                    timestep=timestep,
+                )
+                for name in variables:
+                    archived = (
+                        timestep_variable(name, timestep)
+                        if timestep is not None
+                        else name
+                    )
+                    # the memoized fragment source would serve superseded
+                    # payloads to later lazy loads — drop it
+                    self.archive.invalidate_source(archived)
+                    self._ranges[archived] = (
+                        self.manifest.variables[archived].value_range
+                    )
+                    self._generations[archived] = (
+                        self._generations.get(archived, 0) + 1
+                    )
+                    self._variables_ingested += 1
+            self.manifest.save_to(self.store)
+        return report
 
     def open_session(self, client_id: str | None = None) -> "ClientSession":
         """Open an independent client session (safe to use on its own thread)."""
@@ -206,6 +310,10 @@ class RetrievalService:
                 store_round_trips=self._inner.round_trips,
                 cache=self.cache.stats(),
                 tiers=tiers,
+                store_puts=self._inner.puts,
+                store_bytes_written=self._inner.bytes_written,
+                store_put_round_trips=self._inner.put_round_trips,
+                variables_ingested=self._variables_ingested,
             )
 
 
@@ -231,18 +339,29 @@ class ClientSession:
             max_workers=service.pipeline.max_workers,
         )
         self._session = RetrievalSession(self._retriever)
+        self._generations: dict = {}  # variable -> generation loaded at
         self._closed = False
 
     def _ensure_variables(self, requests) -> None:
         involved = set().union(*(r.qoi.variables() for r in requests))
         for name in sorted(involved):
-            if name in self._retriever._refactored:
+            generation = self._service.variable_generation(name)
+            if (
+                name in self._retriever._refactored
+                and self._generations.get(name) == generation
+            ):
                 continue
             value_range = self._service.value_range(name)
             refactored = self._service.load_refactored(name)
             self._retriever.add_variable(
                 name, refactored, value_range, mask=self._service._masks.get(name)
             )
+            if name in self._generations:
+                # a live ingest replaced this variable since it was
+                # loaded: the old reader decodes superseded fragments,
+                # so this session's state for it starts from scratch
+                self._session.reset_variable(name)
+            self._generations[name] = generation
 
     def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
         """Run the QoI-preserved retrieval loop for this client."""

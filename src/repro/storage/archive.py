@@ -7,10 +7,14 @@ variable as an individually addressable object in a
 Partial retrieval therefore maps onto partial reads of the archival tier,
 which is the deployment story behind the paper's remote-retrieval numbers.
 
-``load()`` reconstructs a fully functional :class:`Refactored` object
-from the store; its readers behave identically (byte accounting included)
-to the ones produced directly by the refactorers, which the round-trip
-tests assert.  ``load(..., lazy=True)`` defers the bulk fragments — the
+``save()`` is incremental: it writes exactly the
+:func:`encode_fragments` enumeration (the contract the streaming
+ingestion engine shares — see :mod:`repro.core.ingest`), never touches
+other variables, and tombstones the segments a re-saved variable no
+longer holds.  ``load()`` reconstructs a fully functional
+:class:`Refactored` object from the store; its readers behave
+identically (byte accounting included) to the ones produced directly by
+the refactorers, which the round-trip tests assert.  ``load(..., lazy=True)`` defers the bulk fragments — the
 bitplane / snapshot payloads that dominate the archive — behind a
 :class:`FragmentSource`, so a variable costs one small store round trip
 to open and fragments are fetched only when (and in whatever batches) the
@@ -258,6 +262,73 @@ class _LazyBlob:
         return self._source.size_of(self._segment)
 
 
+def _snapshot_fragments(refactored, kind) -> tuple:
+    fragments = [
+        (snapshot_segment(i), blob.payload)
+        for i, blob in enumerate(refactored.blobs)
+    ]
+    if refactored.lossless_payload is not None:
+        fragments.append((LOSSLESS_SEGMENT, refactored.lossless_bytes()))
+    index = {
+        "kind": kind,
+        "shape": list(refactored.shape),
+        "ebs": list(refactored.ebs),
+        "num_snapshots": len(refactored.blobs),
+        "has_lossless": refactored.lossless_payload is not None,
+    }
+    return fragments, index
+
+
+def _pmgard_fragments(refactored) -> tuple:
+    fragments = [(COARSE_SEGMENT, refactored.coarse_payload)]
+    stream_meta = []
+    for level, stream in enumerate(refactored.streams):
+        if stream.exponent is not None:
+            fragments.append((pmgard_signs_segment(level), stream.sign_segment))
+            fragments.extend(
+                (pmgard_plane_segment(level, p), seg)
+                for p, seg in enumerate(stream.plane_segments)
+            )
+        stream_meta.append({
+            "shape": list(stream.shape),
+            "exponent": stream.exponent,
+            "num_planes": stream.num_planes,
+        })
+    tr = refactored.transform
+    index = {
+        "kind": "pmgard",
+        "basis": tr.basis,
+        "max_levels": tr.max_levels,
+        "min_size": tr.min_size,
+        "backend": refactored.backend,
+        "level_shapes": [list(s) for s in refactored.decomp.shapes],
+        "coarse_shape": list(refactored.coarse_shape),
+        "streams": stream_meta,
+    }
+    return fragments, index
+
+
+def encode_fragments(refactored) -> tuple:
+    """Enumerate one refactored variable's archive fragments canonically.
+
+    Returns ``(fragments, index)`` where *fragments* is the ordered list
+    of ``(segment, payload)`` pairs and *index* the JSON-serializable
+    variable index (the :data:`~repro.utils.fragment_keys.INDEX_SEGMENT`
+    payload, not included in the list).  Both the serial
+    :meth:`Archive.save` path and the parallel ingestion engine
+    (:mod:`repro.core.ingest`) write exactly this enumeration, which is
+    what makes their archives bit-identical by construction.  Raises
+    ``TypeError`` for representations that cannot be archived.
+    """
+    if isinstance(refactored, PMGARDRefactored):
+        return _pmgard_fragments(refactored)
+    if isinstance(refactored, PSZ3Refactored):
+        return _snapshot_fragments(refactored, kind="psz3")
+    if isinstance(refactored, PSZ3DeltaRefactored):
+        return _snapshot_fragments(refactored, kind="psz3_delta")
+    raise TypeError(f"cannot archive {type(refactored).__name__}")
+
+
 class Archive:
     """Fragment-addressable archive for refactored variables."""
 
@@ -278,58 +349,51 @@ class Archive:
             )
         return source
 
+    def invalidate_source(self, variable: str) -> None:
+        """Drop the memoized fragment source of one rewritten variable.
+
+        Called by :meth:`save` (and the ingestion paths) after a
+        variable's fragments change on the store: a retained
+        :class:`FragmentSource` memoizes payloads, so keeping it would
+        serve the superseded bytes to later lazy loads.  Readers opened
+        before the rewrite keep their already-fetched fragments — a
+        session's view stays internally consistent — while every new
+        ``load`` observes the new archive state.
+        """
+        self._sources.pop(variable, None)
+
     # -- save ----------------------------------------------------------------
 
-    def save(self, variable: str, refactored) -> dict:
-        """Persist *refactored* under *variable*; returns the JSON index."""
-        if isinstance(refactored, PMGARDRefactored):
-            index = self._save_pmgard(variable, refactored)
-        elif isinstance(refactored, PSZ3Refactored):
-            index = self._save_snapshots(variable, refactored, kind="psz3")
-        elif isinstance(refactored, PSZ3DeltaRefactored):
-            index = self._save_snapshots(variable, refactored, kind="psz3_delta")
-        else:
-            raise TypeError(f"cannot archive {type(refactored).__name__}")
+    def save(self, variable: str, refactored, replace: bool = True) -> dict:
+        """Persist *refactored* under *variable*; returns the JSON index.
+
+        Incremental by construction: fragments of other variables are
+        never touched, so adding a variable (or a new timestep) to an
+        existing archive rewrites nothing.  With ``replace=True`` (the
+        default) segments left over from a previous save of the same
+        variable that the new representation does not overwrite — e.g. a
+        re-save with fewer snapshots or planes — are deleted afterwards,
+        which appends tombstones on the disk stores so a reopened
+        archive stays consistent.  The variable's index segment is
+        written after its payload fragments, and stale segments are only
+        removed once the new index is durable.
+        """
+        fragments, index = encode_fragments(refactored)
+        stale: list = []
+        if replace:
+            keep = {segment for segment, _ in fragments}
+            keep.add(INDEX_SEGMENT)
+            stale = [s for s in self.store.segments(variable) if s not in keep]
+        for segment, payload in fragments:
+            self.store.put(variable, segment, payload)
         self.store.put(variable, INDEX_SEGMENT, json.dumps(index).encode())
+        for segment in stale:
+            try:
+                self.store.delete(variable, segment)
+            except KeyError:
+                pass  # a concurrent writer already superseded it
+        self.invalidate_source(variable)
         return index
-
-    def _save_snapshots(self, variable, refactored, kind) -> dict:
-        for i, blob in enumerate(refactored.blobs):
-            self.store.put(variable, snapshot_segment(i), blob.payload)
-        if refactored.lossless_payload is not None:
-            self.store.put(variable, LOSSLESS_SEGMENT, refactored.lossless_bytes())
-        return {
-            "kind": kind,
-            "shape": list(refactored.shape),
-            "ebs": list(refactored.ebs),
-            "num_snapshots": len(refactored.blobs),
-            "has_lossless": refactored.lossless_payload is not None,
-        }
-
-    def _save_pmgard(self, variable, refactored) -> dict:
-        self.store.put(variable, COARSE_SEGMENT, refactored.coarse_payload)
-        stream_meta = []
-        for level, stream in enumerate(refactored.streams):
-            if stream.exponent is not None:
-                self.store.put(variable, pmgard_signs_segment(level), stream.sign_segment)
-                for p, seg in enumerate(stream.plane_segments):
-                    self.store.put(variable, pmgard_plane_segment(level, p), seg)
-            stream_meta.append({
-                "shape": list(stream.shape),
-                "exponent": stream.exponent,
-                "num_planes": stream.num_planes,
-            })
-        tr = refactored.transform
-        return {
-            "kind": "pmgard",
-            "basis": tr.basis,
-            "max_levels": tr.max_levels,
-            "min_size": tr.min_size,
-            "backend": refactored.backend,
-            "level_shapes": [list(s) for s in refactored.decomp.shapes],
-            "coarse_shape": list(refactored.coarse_shape),
-            "streams": stream_meta,
-        }
 
     # -- load ----------------------------------------------------------------
 

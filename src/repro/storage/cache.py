@@ -29,6 +29,15 @@ store read into several.  Pins are reference counts, balanced in
 ``finally`` blocks — they can never go negative and never outlive the
 request that took them — and eviction simply skips pinned entries (the
 budget may be exceeded transiently by at most the pinned bytes).
+
+Writes invalidate.  ``put``/``put_many``/``delete`` through
+:class:`CachingFragmentStore` drop the cached entry for every written
+key, and :meth:`FragmentCache.invalidate` also covers loads *in flight*:
+a fragment overwritten while another thread is still reading the old
+payload from the store is marked stale, and the landing payload is
+served to that reader but never cached — so a re-saved variable can
+never pin its old bytes into the cache, however the write races the
+read.
 """
 
 from __future__ import annotations
@@ -83,6 +92,7 @@ class FragmentCache:
         self._entries: OrderedDict = OrderedDict()
         self._inflight: dict = {}  # key -> Event set when its load finishes
         self._pins: dict = {}  # key -> waiter refcount; pinned entries dodge eviction
+        self._stale: set = set()  # in-flight keys invalidated by a write
         self._stats = CacheStats(capacity_bytes=self.capacity_bytes)
 
     # -- pinning (all callers hold self._lock) ---------------------------------
@@ -144,15 +154,20 @@ class FragmentCache:
         except BaseException:
             with self._lock:
                 del self._inflight[key]
+                self._stale.discard(key)
             flight.set()
             raise
         with self._lock:
             self._stats.misses += 1
             self._stats.bytes_from_store += len(payload)
-            if len(payload) <= self.capacity_bytes:
+            # a write that raced this load marked the key stale: serve the
+            # payload to this caller but never cache it (the next request
+            # re-reads the store and sees the overwritten bytes)
+            if len(payload) <= self.capacity_bytes and key not in self._stale:
                 self._entries[key] = payload
                 self._stats.current_bytes += len(payload)
                 self._evict_to_budget()
+            self._stale.discard(key)
             del self._inflight[key]
         flight.set()
         return payload
@@ -211,7 +226,12 @@ class FragmentCache:
                                 payload = bytes(loaded[key])
                                 self._stats.misses += 1
                                 self._stats.bytes_from_store += len(payload)
-                                if len(payload) <= self.capacity_bytes:
+                                # stale = overwritten while in flight: serve
+                                # but never cache (see get_or_load)
+                                if (
+                                    len(payload) <= self.capacity_bytes
+                                    and key not in self._stale
+                                ):
                                     self._entries[key] = payload
                                     self._stats.current_bytes += len(payload)
                                 out[key] = payload
@@ -220,6 +240,7 @@ class FragmentCache:
                         with self._lock:
                             for key, _ in owned:
                                 self._inflight.pop(key, None)
+                                self._stale.discard(key)
                         for _, flight in owned:
                             flight.set()
                 for _, flight in waits:
@@ -256,11 +277,28 @@ class FragmentCache:
             self._stats.evictions += 1
 
     def invalidate(self, variable: str, segment: str) -> None:
-        """Drop one entry (used on write-through puts)."""
+        """Drop one entry after its fragment was overwritten or deleted.
+
+        Covers loads in flight too: a concurrent reader that already
+        started loading the old payload will receive it (its read began
+        before the write) but the payload is never cached, so no later
+        request can observe the superseded bytes.
+        """
         with self._lock:
-            payload = self._entries.pop((variable, segment), None)
-            if payload is not None:
-                self._stats.current_bytes -= len(payload)
+            self._invalidate_locked((variable, segment))
+
+    def invalidate_many(self, keys) -> None:
+        """Batched :meth:`invalidate` (one lock hold for a whole write batch)."""
+        with self._lock:
+            for variable, segment in keys:
+                self._invalidate_locked((variable, segment))
+
+    def _invalidate_locked(self, key) -> None:
+        payload = self._entries.pop(key, None)
+        if payload is not None:
+            self._stats.current_bytes -= len(payload)
+        if key in self._inflight:
+            self._stale.add(key)
 
     def clear(self) -> None:
         """Drop every entry (counters other than residency are kept)."""
@@ -290,9 +328,26 @@ class CachingFragmentStore(FragmentStore):
         self.cache = cache
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
-        """Write through to the inner store, invalidating any cached copy."""
+        """Write through to the inner store, invalidating any cached copy.
+
+        Invalidation runs after the inner write and also marks loads in
+        flight, so a re-saved fragment can never serve its old payload
+        from the cache (see :meth:`FragmentCache.invalidate`).
+        """
         self.inner.put(variable, segment, payload)
         self.cache.invalidate(variable, segment)
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Batched write-through: one inner round trip, batch invalidation."""
+        batch = self._check_batch(items)
+        self.inner.put_many(batch)
+        self.cache.invalidate_many([(v, s) for v, s, _ in batch])
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Delete from the inner store, invalidating any cached copy."""

@@ -9,11 +9,12 @@ of the stack (archive, cache, tiering, service) composes over:
 * :class:`HTTPFragmentServer` / :class:`HTTPFragmentStore` — an
   in-process HTTP object-store server over any local
   :class:`~repro.storage.store.FragmentStore`, and the client that
-  speaks to it.  The wire protocol is four endpoints (index, single
+  speaks to it.  The wire protocol is five endpoints (index, single
   fragment with HTTP ``Range`` support, a coalesced ``/batch`` read
-  moving a whole fragment set in **one** round trip, and put/delete), so
-  a batched retrieval round costs one HTTP request however many
-  fragments it spans — the same economy the pipelined engine exploits
+  moving a whole fragment set in **one** round trip, its write-side
+  mirror ``/batch_put``, and put/delete), so a batched retrieval round
+  — or a batched ingestion flush — costs one HTTP request however many
+  fragments it spans, the same economy the pipelined engines exploit
   locally.
 * :class:`KeyValueFragmentStore` — adapts any object with S3-style
   bucket semantics (:class:`ObjectBucket`: get/put/delete/list by string
@@ -62,6 +63,13 @@ class RemoteFragmentStore(Protocol):
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
         """Durably store one fragment."""
+
+    def put_many(self, items) -> None:
+        """Durably store a batch of fragments in one backend round trip.
+
+        The write-side mirror of ``get_many``: what the streaming
+        ingestion engine coalesces its flushes into.
+        """
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment; KeyError when absent."""
@@ -178,17 +186,26 @@ class _Handler(http.server.BaseHTTPRequestHandler):
         return max(0, start), min(stop, total)
 
     def do_POST(self) -> None:  # noqa: N802
-        """Serve ``/batch``: many fragments in one response (one round trip).
+        """Serve ``/batch`` (coalesced read) and ``/batch_put`` (coalesced write).
 
-        The request body is ``{"keys": [[variable, segment], ...]}``; the
-        response is one JSON header line (per-key payload lengths, in
-        request order) followed by the concatenated raw payloads.  Any
-        missing key fails the whole batch with 404 listing every missing
-        key — mirroring :meth:`FragmentStore.get_many`'s no-partial-batch
-        contract.
+        ``/batch``: the request body is ``{"keys": [[variable, segment],
+        ...]}``; the response is one JSON header line (per-key payload
+        lengths, in request order) followed by the concatenated raw
+        payloads.  Any missing key fails the whole batch with 404 listing
+        every missing key — mirroring :meth:`FragmentStore.get_many`'s
+        no-partial-batch contract.
+
+        ``/batch_put`` is the mirror image: one JSON header line
+        (``keys`` + per-key ``lengths``) followed by the concatenated
+        payloads, stored with a single inner ``put_many`` — so a whole
+        ingestion flush costs one HTTP round trip and one index append.
         """
-        if self._route() != API_PREFIX + "/batch":
-            self._send_json(404, {"error": f"no route {self._route()!r}"})
+        route = self._route()
+        if route == API_PREFIX + "/batch_put":
+            self._do_batch_put()
+            return
+        if route != API_PREFIX + "/batch":
+            self._send_json(404, {"error": f"no route {route!r}"})
             return
         try:
             body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
@@ -207,6 +224,29 @@ class _Handler(http.server.BaseHTTPRequestHandler):
         ordered = [payloads[k] for k in dict.fromkeys(keys)]
         header = json.dumps({"lengths": [len(p) for p in ordered]}).encode() + b"\n"
         self._send(200, header + b"".join(ordered))
+
+    def _do_batch_put(self) -> None:
+        """Store one coalesced write batch (see :meth:`do_POST`)."""
+        try:
+            body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
+            header_end = body.index(b"\n")
+            header = json.loads(body[:header_end])
+            keys = [(str(v), str(s)) for v, s in header["keys"]]
+            lengths = [int(n) for n in header["lengths"]]
+            if len(keys) != len(lengths):
+                raise ValueError("keys/lengths mismatch")
+            items = []
+            offset = header_end + 1
+            for key, length in zip(keys, lengths):
+                items.append((key[0], key[1], body[offset:offset + length]))
+                offset += length
+            if offset != len(body):
+                raise ValueError("payload length mismatch")
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": f"malformed batch_put request: {exc}"})
+            return
+        self._store.put_many(items)
+        self._send_json(200, {"stored": len(items)})
 
     def do_PUT(self) -> None:  # noqa: N802
         """Store one fragment (the request body is the payload)."""
@@ -454,6 +494,26 @@ class HTTPFragmentStore(FragmentStore):
         self._raise_for(status, answer)
         with self._stats_lock:
             self._record_put(variable, segment, len(payload))
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Store a whole batch in one ``/batch_put`` HTTP round trip."""
+        batch = self._check_batch(items)
+        if not batch:
+            return
+        header = json.dumps({
+            "keys": [[v, s] for v, s, _ in batch],
+            "lengths": [len(p) for _, _, p in batch],
+        }).encode() + b"\n"
+        body = header + b"".join(p for _, _, p in batch)
+        status, answer = self._request("POST", API_PREFIX + "/batch_put", body=body)
+        self._raise_for(status, answer)
+        with self._stats_lock:
+            for variable, segment, payload in batch:
+                self._record_put(variable, segment, len(payload))
+            self.put_round_trips += 1
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Delete one fragment on the server; KeyError when absent."""
@@ -485,9 +545,10 @@ class ObjectBucket(Protocol):
     """S3-style bucket semantics the key-value adapter composes over.
 
     Five methods, string keys, byte values.  ``get_object`` raises
-    ``KeyError`` for a missing key.  ``get_objects`` (batched read) is
-    optional — buckets that support it serve a whole batch in one round
-    trip; the adapter falls back to per-key gets otherwise.
+    ``KeyError`` for a missing key.  ``get_objects`` (batched read) and
+    ``put_objects`` (batched write) are optional — buckets that support
+    them move a whole batch in one round trip; the adapter falls back to
+    per-key gets/puts otherwise.
     """
 
     def get_object(self, key: str) -> bytes:
@@ -537,6 +598,13 @@ class InMemoryObjectBucket:
         with self._lock:
             self.requests += 1
             self._objects[key] = bytes(data)
+
+    def put_objects(self, objects: dict) -> None:
+        """Batched write: the whole ``{key: data}`` batch costs one request."""
+        with self._lock:
+            self.requests += 1
+            for key, data in objects.items():
+                self._objects[key] = bytes(data)
 
     def delete_object(self, key: str) -> None:
         """Remove one object; KeyError when absent."""
@@ -593,6 +661,25 @@ class KeyValueFragmentStore(FragmentStore):
         self.bucket.put_object(object_key(variable, segment), bytes(payload))
         with self._stats_lock:
             self._record_put(variable, segment, len(payload))
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Batched write; one bucket round trip when the bucket supports it."""
+        batch = self._check_batch(items)
+        put_objects = getattr(self.bucket, "put_objects", None)
+        trips = 1
+        if put_objects is not None:
+            put_objects({object_key(v, s): p for v, s, p in batch})
+        else:
+            for variable, segment, payload in batch:
+                self.bucket.put_object(object_key(variable, segment), payload)
+            trips = max(1, len(batch))  # honest accounting, like get_many
+        with self._stats_lock:
+            for variable, segment, payload in batch:
+                self._record_put(variable, segment, len(payload))
+            self.put_round_trips += trips
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Delete one fragment object; KeyError when absent."""

@@ -14,7 +14,13 @@ the *round trips* those reads cost (``round_trips``): a ``get`` is one
 round trip for one fragment, a :meth:`FragmentStore.get_many` is one
 round trip for a whole batch.  The pipelined retrieval engine exists to
 shrink the round-trip count without changing the fragment traffic, so the
-two counters are tracked separately.
+two counters are tracked separately.  Writes are accounted symmetrically
+(``puts`` / ``bytes_written`` / ``put_round_trips``): a ``put`` is one
+write round trip for one fragment, a :meth:`FragmentStore.put_many`
+batch is one write round trip however many fragments it carries — the
+economy the streaming ingestion engine (:mod:`repro.core.ingest`)
+exploits.  On the disk stores a ``put_many`` batch also costs a single
+index append, not one per fragment.
 
 Byte totals and per-variable segment lists are maintained incrementally
 by ``put`` and ``delete`` — ``nbytes``/``segments``/``size_of`` never
@@ -178,6 +184,13 @@ class FragmentStore:
         #: Number of store requests issued: one per ``get`` call and one
         #: per ``get_many`` call, however many fragments the batch holds.
         self.round_trips = 0
+        #: Number of fragments written by ``put``/``put_many``.
+        self.puts = 0
+        #: Total payload bytes written (the store-side write traffic).
+        self.bytes_written = 0
+        #: Number of write requests issued: one per ``put`` call and one
+        #: per ``put_many`` call, however many fragments the batch holds.
+        self.put_round_trips = 0
         # counters are read-modify-write and every store may serve
         # concurrent clients; the disk stores reuse their own wider lock
         self._stats_lock = threading.Lock()
@@ -193,6 +206,27 @@ class FragmentStore:
     def _count_read(self, nbytes: int) -> None:
         self.reads += 1
         self.bytes_read += int(nbytes)
+
+    def _count_write(self, fragments: int, nbytes: int) -> None:
+        self.puts += int(fragments)
+        self.bytes_written += int(nbytes)
+
+    @staticmethod
+    def _check_batch(items) -> list:
+        """Validate and materialize a ``put_many`` batch.
+
+        *items* is an iterable of ``(variable, segment, payload)``
+        triples; payload types are checked for the whole batch before
+        anything is written, so a bad entry never leaves a partial batch
+        behind.  Duplicate keys keep their order (last write wins, as
+        with repeated ``put`` calls).
+        """
+        batch = []
+        for variable, segment, payload in items:
+            if not isinstance(payload, (bytes, bytearray)):
+                raise TypeError("fragment payload must be bytes")
+            batch.append((variable, segment, bytes(payload)))
+        return batch
 
     def _record_put(self, variable: str, segment: str, nbytes: int) -> None:
         """Fold one archived fragment into the running index totals."""
@@ -221,11 +255,31 @@ class FragmentStore:
     # -- write ----------------------------------------------------------------
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
-        """Archive one fragment."""
+        """Archive one fragment (one write round trip)."""
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
         self._data[(variable, segment)] = bytes(payload)
         self._record_put(variable, segment, len(payload))
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Archive a batch of fragments in one store round trip.
+
+        *items* is an iterable of ``(variable, segment, payload)``
+        triples, written in order (duplicate keys: last write wins).
+        Per-fragment ``puts``/``bytes_written`` accounting is identical
+        to ``put``; only ``put_round_trips`` records the coalescing —
+        the exact write-side mirror of :meth:`get_many`.
+        """
+        batch = self._check_batch(items)
+        for variable, segment, payload in batch:
+            self._data[(variable, segment)] = payload
+            self._record_put(variable, segment, len(payload))
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment; KeyError when absent.
@@ -327,6 +381,10 @@ class DiskFragmentStore(FragmentStore):
         super().__init__()
         self.root = root
         self._lock = threading.Lock()
+        # serializes writers (file content and index-log appends land in
+        # the same order per key) without making readers — who only take
+        # self._lock briefly — wait behind batch file I/O
+        self._write_lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
         self._reindex()
 
@@ -399,21 +457,61 @@ class DiskFragmentStore(FragmentStore):
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
         path = self._path(variable, segment)
-        with self._lock:
-            self._write_marker()
+        with self._write_lock:
             _write_atomic(path, bytes(payload))
-            self._data[(variable, segment)] = None  # index only; bytes on disk
-            self._record_put(variable, segment, len(payload))
-            # overwrites append too: replay keeps the *last* entry's size,
-            # so a reopened store reports the current payload bytes
-            entry = {
-                "variable": variable,
-                "segment": segment,
-                "file": os.path.basename(path),
-                "nbytes": len(payload),
-            }
-            with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
-                fh.write(json.dumps(entry) + "\n")
+            with self._lock:
+                self._write_marker()
+                self._data[(variable, segment)] = None  # index only; bytes on disk
+                self._record_put(variable, segment, len(payload))
+                # overwrites append too: replay keeps the *last* entry's
+                # size, so a reopened store reports the current payload bytes
+                entry = {
+                    "variable": variable,
+                    "segment": segment,
+                    "file": os.path.basename(path),
+                    "nbytes": len(payload),
+                }
+                with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
+                    fh.write(json.dumps(entry) + "\n")
+                self.put_round_trips += 1
+                self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Write a batch of fragment files with a single index append.
+
+        Files are written in batch order — preserving each variable's
+        segment insertion order, so a batched archive indexes identically
+        to a serial one.  The batch holds the writer lock (same-key races
+        between writers keep file content and index order consistent)
+        but not the reader lock, so concurrent reads are never stalled
+        behind the batch's disk writes; the key log grows by one append
+        (one ``write`` call for the whole batch) instead of one per
+        fragment.
+        """
+        batch = self._check_batch(items)
+        lines = []
+        total = 0
+        with self._write_lock:
+            for variable, segment, payload in batch:
+                path = self._path(variable, segment)
+                _write_atomic(path, payload)
+                total += len(payload)
+                lines.append(json.dumps({
+                    "variable": variable,
+                    "segment": segment,
+                    "file": os.path.basename(path),
+                    "nbytes": len(payload),
+                }))
+            with self._lock:
+                self._write_marker()
+                for variable, segment, payload in batch:
+                    self._data[(variable, segment)] = None
+                    self._record_put(variable, segment, len(payload))
+                if lines:
+                    with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
+                        fh.write("\n".join(lines) + "\n")
+                self.put_round_trips += 1
+                self._count_write(len(batch), total)
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment's file and append a tombstone to the log."""
@@ -497,6 +595,9 @@ class ShardedDiskStore(FragmentStore):
         super().__init__()
         self.root = root
         self._lock = threading.Lock()
+        # serializes writers (file content and index appends in the same
+        # order per key) without stalling readers behind batch file I/O
+        self._write_lock = threading.Lock()
         self._index: dict = {}  # (variable, segment) -> relpath
         self._log_path = os.path.join(root, SHARD_INDEX_LOG)
         os.makedirs(root, exist_ok=True)
@@ -548,19 +649,60 @@ class ShardedDiskStore(FragmentStore):
         rel = self._relpath(variable, segment)
         path = os.path.join(self.root, rel)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        _write_atomic(path, bytes(payload))
         entry = {
             "variable": variable,
             "segment": segment,
             "path": rel,
             "nbytes": len(payload),
         }
-        with self._lock:
-            self._write_marker()
-            self._index[(variable, segment)] = rel
-            self._record_put(variable, segment, len(payload))
-            with open(self._log_path, "a") as fh:
-                fh.write(json.dumps(entry) + "\n")
+        with self._write_lock:
+            _write_atomic(path, bytes(payload))
+            with self._lock:
+                self._write_marker()
+                self._index[(variable, segment)] = rel
+                self._record_put(variable, segment, len(payload))
+                with open(self._log_path, "a") as fh:
+                    fh.write(json.dumps(entry) + "\n")
+                self.put_round_trips += 1
+                self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Write a batch grouped per shard, with a single index append.
+
+        Shard directories are created once per distinct shard (not once
+        per fragment) and files land in batch order, so each variable's
+        segment insertion order matches a serial sequence of ``put``
+        calls; the persisted index grows by one append for the whole
+        batch.  Like :meth:`put`, the batch holds the writer lock but
+        takes the reader lock only for the index update, so concurrent
+        reads never stall behind batch file I/O.
+        """
+        batch = self._check_batch(items)
+        rels = [self._relpath(v, s) for v, s, _ in batch]
+        for shard in {os.path.dirname(rel) for rel in rels}:
+            os.makedirs(os.path.join(self.root, shard), exist_ok=True)
+        lines = []
+        total = 0
+        with self._write_lock:
+            for (variable, segment, payload), rel in zip(batch, rels):
+                _write_atomic(os.path.join(self.root, rel), payload)
+                total += len(payload)
+                lines.append(json.dumps({
+                    "variable": variable,
+                    "segment": segment,
+                    "path": rel,
+                    "nbytes": len(payload),
+                }))
+            with self._lock:
+                self._write_marker()
+                for (variable, segment, payload), rel in zip(batch, rels):
+                    self._index[(variable, segment)] = rel
+                    self._record_put(variable, segment, len(payload))
+                if lines:
+                    with open(self._log_path, "a") as fh:
+                        fh.write("\n".join(lines) + "\n")
+                self.put_round_trips += 1
+                self._count_write(len(batch), total)
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment's file and append a tombstone to the index."""

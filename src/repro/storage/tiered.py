@@ -48,6 +48,11 @@ DEFAULT_PROMOTE_AFTER = 1
 #: Default background transfer cycle period (seconds).
 DEFAULT_TRANSFER_INTERVAL = 2.0
 
+#: Byte bound of one coalesced write-back flush batch: keeps a huge
+#: dirty set (a large write-back ingest) from materializing in memory
+#: as one oversized slow-tier request.
+FLUSH_CHUNK_BYTES = 32 << 20
+
 
 @dataclass
 class TierStats:
@@ -135,6 +140,7 @@ class TieredStore(FragmentStore):
         self._tier_lock = threading.RLock()
         self._resident: set = set(fast.keys())  # keys served by the fast tier
         self._dirty: set = set()  # write-back keys the slow tier lacks
+        self._dirty_epoch: dict = {}  # key -> version; bumped per dirtying put
         self._access: dict = {}  # key -> [slow-tier hits since promotion, tick]
         self._tick = 0  # monotonic access clock (recency for demotion)
         self._last_touch: dict = {}  # key -> tick of last client read
@@ -285,8 +291,39 @@ class TieredStore(FragmentStore):
             self._resident.add(key)
             if self.policy == "write-back":
                 self._dirty.add(key)
+                self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
         with self._stats_lock:
             self._record_put(variable, segment, len(payload))
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Store a batch under the configured write policy (batched per tier).
+
+        The batch lands on the fast tier with one ``put_many``;
+        write-through forwards the same batch to the slow tier with one
+        more (the durable copy still exists before this call returns),
+        while write-back marks every key dirty in one bookkeeping pass
+        and leaves the slow-tier copy to :meth:`flush` / the transfer
+        thread — so an ingestion flush costs one round trip per tier it
+        must touch *now*, never one per fragment.
+        """
+        batch = self._check_batch(items)
+        self.fast.put_many(batch)
+        if self.policy == "write-through":
+            self.slow.put_many(batch)
+        keys = [(v, s) for v, s, _ in batch]
+        with self._tier_lock:
+            self._resident.update(keys)
+            if self.policy == "write-back":
+                self._dirty.update(keys)
+                for key in keys:
+                    self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
+        with self._stats_lock:
+            for variable, segment, payload in batch:
+                self._record_put(variable, segment, len(payload))
+            self.put_round_trips += 1
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment from every tier holding it."""
@@ -297,6 +334,7 @@ class TieredStore(FragmentStore):
             resident = key in self._resident
             self._resident.discard(key)
             self._dirty.discard(key)
+            self._dirty_epoch.pop(key, None)
             self._access.pop(key, None)
             self._last_touch.pop(key, None)
         if resident:
@@ -314,34 +352,65 @@ class TieredStore(FragmentStore):
     def flush(self) -> int:
         """Push every dirty write-back fragment to the slow tier.
 
-        Returns the number of fragments flushed.  Safe to call any time;
-        the transfer thread calls it once per cycle.
+        The dirty set moves in coalesced slow-tier ``put_many`` batches
+        of at most :data:`FLUSH_CHUNK_BYTES` — an ingestion burst of
+        write-back puts costs a handful of slow round trips to drain,
+        not one per fragment, without ever materializing an unbounded
+        dirty set in memory.  A fragment re-put while its batch was in
+        flight keeps its dirty mark (per-key epochs detect the newer
+        payload), so the next cycle ships the newer bytes — a
+        write-back copy is never silently dropped.  Returns the number
+        of fragments flushed.  Safe to call any time; the transfer
+        thread calls it once per cycle.
         """
         with self._tier_lock:
             dirty = list(self._dirty)
         flushed = 0
+        chunk: list = []  # (key, payload, epoch at staging time)
+        chunk_bytes = 0
+
+        def drain() -> None:
+            nonlocal flushed, chunk_bytes
+            if not chunk:
+                return
+            self.slow.put_many([(v, s, p) for (v, s), p, _ in chunk])
+            undo = []
+            with self._tier_lock:
+                for key, _, epoch in chunk:
+                    if key not in self._sizes:
+                        undo.append(key)  # a delete raced the batch put:
+                        continue          # the written copy must not survive
+                    if self._dirty_epoch.get(key, 0) == epoch:
+                        self._dirty.discard(key)
+                        self._tstats.writebacks_flushed += 1
+                        flushed += 1
+                    # else: re-dirtied mid-flight; the mark stays and the
+                    # next cycle ships the newer payload
+            for key in undo:
+                try:
+                    self.slow.delete(*key)
+                except KeyError:
+                    pass
+            chunk.clear()
+            chunk_bytes = 0
+
         for key in dirty:
+            with self._tier_lock:
+                if key not in self._sizes or key not in self._dirty:
+                    continue  # deleted (or flushed elsewhere) since the snapshot
+                # capture the epoch *before* reading the payload: a put
+                # landing in between bumps it, so the stale read below can
+                # never clear the newer payload's dirty mark
+                epoch = self._dirty_epoch.get(key, 0)
             try:
                 payload = self.fast.get(*key)
             except (KeyError, OSError):
                 continue  # deleted concurrently
-            with self._tier_lock:
-                live = key in self._sizes and key in self._dirty
-            if not live:
-                continue  # deleted (or flushed elsewhere) since the snapshot
-            self.slow.put(key[0], key[1], payload)
-            with self._tier_lock:
-                if key in self._sizes:
-                    self._dirty.discard(key)
-                    self._tstats.writebacks_flushed += 1
-                    flushed += 1
-                    continue
-            # a delete raced the put: it already purged its tiers, so the
-            # copy we just wrote would resurrect on reopen — undo it
-            try:
-                self.slow.delete(*key)
-            except KeyError:
-                pass
+            chunk.append((key, payload, epoch))
+            chunk_bytes += len(payload)
+            if chunk_bytes >= FLUSH_CHUNK_BYTES:
+                drain()
+        drain()
         return flushed
 
     # -- transfer machinery ----------------------------------------------------

@@ -153,8 +153,11 @@ class LatencyFragmentStore(FragmentStore):
     that effect end to end without needing a real remote tier.
 
     Sleeps are real (``time.sleep``), so concurrent clients overlap their
-    waits like real network requests would.  Writes are not delayed —
-    archival happens once and is not what the retrieval benchmarks time.
+    waits like real network requests would.  Writes are not delayed by
+    default (archival happens once and is not what the retrieval
+    benchmarks time); pass ``write_latency`` to charge each write round
+    trip too — a batched :meth:`put_many` then pays it **once** for the
+    whole flush, the economy the ingestion benchmarks measure.
     """
 
     def __init__(
@@ -162,6 +165,7 @@ class LatencyFragmentStore(FragmentStore):
         inner: FragmentStore,
         latency: float = 0.002,
         bandwidth: float = 2e9,
+        write_latency: float | None = None,
     ):
         super().__init__()
         self.inner = inner
@@ -169,16 +173,36 @@ class LatencyFragmentStore(FragmentStore):
         self.bandwidth = check_positive(bandwidth, name="bandwidth")
         if self.latency < 0:
             raise ValueError("latency must be >= 0")
+        self.write_latency = None if write_latency is None else float(write_latency)
+        if self.write_latency is not None and self.write_latency < 0:
+            raise ValueError("write_latency must be >= 0")
 
     def _charge(self, nbytes: int) -> None:
         time.sleep(self.latency + nbytes / self.bandwidth)
 
+    def _charge_write(self, nbytes: int) -> None:
+        if self.write_latency is not None:
+            time.sleep(self.write_latency + nbytes / self.bandwidth)
+
     def put(self, variable: str, segment: str, payload: bytes) -> None:
-        """Write to the inner store (archival writes are not delayed)."""
+        """Write one fragment, charging one write round trip (if enabled)."""
         self.inner.put(variable, segment, payload)
+        self._charge_write(len(payload))
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(1, len(payload))
+
+    def put_many(self, items) -> None:
+        """Write a batch, charging the write latency **once** for all of it."""
+        batch = self._check_batch(items)
+        self.inner.put_many(batch)
+        self._charge_write(sum(len(p) for _, _, p in batch))
+        with self._stats_lock:
+            self.put_round_trips += 1
+            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
-        """Delete from the inner store (not delayed, like writes)."""
+        """Delete from the inner store (metadata-sized; not delayed)."""
         self.inner.delete(variable, segment)
 
     def get(self, variable: str, segment: str) -> bytes:

@@ -20,6 +20,18 @@ COARSE_SEGMENT = "coarse"
 LOSSLESS_SEGMENT = "lossless"
 
 
+def timestep_variable(name: str, step: int) -> str:
+    """Archive key of one variable's appended timestep: ``pressure@t0042``.
+
+    The streaming ingestion engine archives successive simulation
+    timesteps of the same field under these qualified names, so
+    appending a step never touches the fragments of earlier steps
+    (mirroring the ``@bNNN`` block-qualification of
+    :mod:`repro.parallel.blocks`).
+    """
+    return f"{name}@t{int(step):04d}"
+
+
 def snapshot_segment(index: int) -> str:
     """Segment name of snapshot *index* of a PSZ3 / PSZ3-delta ladder."""
     return f"snapshot_{index:03d}"

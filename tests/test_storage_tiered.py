@@ -123,11 +123,13 @@ class TestTieredWrites:
         holder = {}
 
         class RacingSlow(FragmentStore):
-            def put(self, variable, segment, payload):
-                super().put(variable, segment, payload)
+            def put_many(self, items):
+                items = list(items)
+                super().put_many(items)
                 tiered = holder.get("store")
-                if tiered is not None and tiered.has(variable, segment):
-                    tiered.delete(variable, segment)  # client delete mid-flush
+                for variable, segment, _ in items:
+                    if tiered is not None and tiered.has(variable, segment):
+                        tiered.delete(variable, segment)  # client delete mid-flush
 
         slow = RacingSlow()
         store = TieredStore(FragmentStore(), slow, policy="write-back")
@@ -136,6 +138,30 @@ class TestTieredWrites:
         store.flush()
         assert not store.has("w", "s0")
         assert not slow.has("w", "s0")  # the flushed copy was undone
+
+    def test_reput_racing_flush_keeps_dirty_mark(self):
+        """A re-put landing while its old payload is being flushed must
+        keep the key dirty, so the newer bytes reach the slow tier on
+        the next cycle instead of being silently dropped."""
+        holder = {}
+
+        class RacingSlow(FragmentStore):
+            def put_many(self, items):
+                items = list(items)
+                super().put_many(items)
+                tiered = holder.get("store")
+                if tiered is not None and not holder.get("raced"):
+                    holder["raced"] = True
+                    tiered.put("w", "s0", b"NEWER")  # client re-put mid-flush
+
+        slow = RacingSlow()
+        store = TieredStore(FragmentStore(), slow, policy="write-back")
+        holder["store"] = store
+        store.put("w", "s0", b"old")
+        assert store.flush() == 0  # the staged payload was superseded mid-flight
+        assert store.stats().dirty_fragments == 1
+        assert store.flush() == 1
+        assert slow.get("w", "s0") == b"NEWER"
 
     def test_delete_racing_promotion_leaves_no_fast_orphan(self):
         """A delete landing mid-promotion must not leave an unreachable
