@@ -101,7 +101,10 @@ def _serial_ingest(store, fields, method) -> None:
     archive = Archive(store)
     manifest = DatasetManifest(dataset="bench")
     for name, data in fields.items():
-        archive.save(name, refactored[name])
+        # atomic=False: the seed-era baseline really did one put per
+        # fragment; the default batched save would erase the very gap
+        # this benchmark measures
+        archive.save(name, refactored[name], atomic=False)
         manifest.add(VariableMetadata.from_array(
             name, data, method, refactored[name].total_bytes,
             segments=store.segments(name),

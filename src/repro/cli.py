@@ -1,16 +1,19 @@
 """Command-line interface: archive, ingest, inspect, retrieve, and serve.
 
-Wires the whole pipeline into seven subcommands::
+Wires the whole pipeline into ten subcommands::
 
     python -m repro.cli archive  --out ar/ --method pmgard_hb p=pressure.npy d=density.npy
     python -m repro.cli ingest   --archive ar/ --method pmgard_hb t=temperature.npy
     python -m repro.cli info     --archive ar/
     python -m repro.cli retrieve --archive ar/ --qoi product --fields p,d \\
         --tolerance 1e-4 --out rec/
-    python -m repro.cli serve    --archive ar/ --port 7117
+    python -m repro.cli serve    --archive ar/ --port 7117 --metrics-port 9117
     python -m repro.cli client   --port 7117 --qoi product --fields p,d \\
         --tolerance 1e-4 --out rec/
     python -m repro.cli stats    --port 7117          # or: --archive ar/
+    python -m repro.cli compact  --archive ar/        # or: --port 7117
+    python -m repro.cli snapshot --archive ar/ --dest file:///backups/ar
+    python -m repro.cli restore  --snapshot file:///backups/ar --archive ar/
 
 ``archive`` refactors each ``name=path.npy`` variable into a
 fragment-addressable archive (one object per fragment; pass
@@ -26,11 +29,17 @@ driven by the pipelined engine (``--pipeline-depth`` /
 ``--fetch-workers`` tune it, ``--serial`` disables it) — and writes the
 reconstructed variables plus a JSON report of the guaranteed errors.
 ``serve`` exposes the archive to many concurrent clients over TCP behind
-a shared fragment cache; ``client`` runs one retrieval against a running
-server; ``stats`` prints either a running server's live counters (store
-reads/round trips and puts/bytes written, cache hit/miss/eviction
-rates, per-tier promotion counters for tiered backends) or a static
-summary of an archive.
+a shared fragment cache (``--metrics-port`` adds the HTTP operability
+sidecar serving Prometheus ``/metrics`` and a JSON ``/health`` probe);
+``client`` runs one retrieval against a running server; ``stats`` prints
+either a running server's live counters (store reads/round trips and
+puts/bytes written, cache hit/miss/eviction rates, per-tier promotion
+counters for tiered backends, WAL durability counters) or a static
+summary of an archive.  ``compact`` rewrites an archive's commit log
+and unlinks tombstoned fragment files (dead bytes accumulate from
+replaced/deleted variables); ``snapshot`` copies a whole store between
+any two URLs with byte-for-byte verification, and ``restore`` brings an
+archive back to exactly a snapshot's contents (see docs/durability.md).
 
 Everywhere a command takes ``--archive`` (or ``archive --out``), it
 accepts either a directory path or a store URL — ``file://``,
@@ -236,6 +245,15 @@ def _print_tier_stats(tiers: dict) -> None:
           f"{tiers['transfer_cycles']} transfer cycle(s)")
 
 
+def _print_durability(d: dict) -> None:
+    """Print the WAL durability counter block of ``repro stats``."""
+    print(f"durability: {d['wal_commits']} WAL commit(s) "
+          f"({d['wal_entries']} entrie(s), log {d['log_bytes']} B); "
+          f"{d['tombstones']} tombstone(s), {d['dead_bytes']} dead B")
+    print(f"  compaction: {d['compactions']} run(s), "
+          f"{d['reclaimed_bytes']} B reclaimed")
+
+
 def _cmd_stats(args) -> int:
     if args.archive is not None:
         store = open_store(args.archive)
@@ -254,6 +272,9 @@ def _cmd_stats(args) -> int:
             from dataclasses import asdict
 
             _print_tier_stats(asdict(store.stats()))
+        from dataclasses import asdict
+
+        _print_durability(asdict(store.durability()))
         store.close()
         return 0
     try:
@@ -285,6 +306,8 @@ def _cmd_stats(args) -> int:
           f"{cache['bytes_from_store']} B from store")
     if stats.get("tiers"):
         _print_tier_stats(stats["tiers"])
+    if stats.get("durability"):
+        _print_durability(stats["durability"])
     return 0
 
 
@@ -297,6 +320,14 @@ def _cmd_serve(args) -> int:
     )
     server = RetrievalServer(service, args.host, args.port)
     host, port = server.address
+    metrics = None
+    if args.metrics_port is not None:
+        from repro.service.metrics import MetricsServer
+
+        metrics = MetricsServer(service, args.host, args.metrics_port).start()
+        mhost, mport = metrics.address
+        print(f"metrics on http://{mhost}:{mport}/metrics "
+              f"(health: http://{mhost}:{mport}/health)")
     print(f"serving {args.archive} on {host}:{port} "
           f"(cache budget {args.cache_mb} MiB); Ctrl-C to stop")
     try:
@@ -304,8 +335,73 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if metrics is not None:
+            metrics.stop()
         server.server_close()
         service.close()  # stops a tiered backend's transfer thread
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    if args.archive is not None:
+        store = open_store(args.archive)
+        try:
+            report = store.compact()
+        finally:
+            store.close()
+        target = args.archive
+    else:
+        try:
+            client_ctx = ServiceClient(args.host, args.port)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot reach server at {args.host}:{args.port}: {exc} "
+                f"(pass --archive DIR to compact a local archive)"
+            )
+        with client_ctx as client:
+            from repro.storage.wal import CompactionReport
+
+            report = CompactionReport(**client.compact())
+        target = f"{args.host}:{args.port}"
+    print(f"compacted {target}: {report.removed_files} dead file(s) unlinked, "
+          f"{report.reclaimed_bytes} B reclaimed; "
+          f"log {report.log_bytes_before} -> {report.log_bytes_after} B "
+          f"({report.live_fragments} live fragment(s))")
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.storage.snapshot import snapshot_store
+
+    report = snapshot_store(
+        args.archive,
+        args.dest,
+        chunk_bytes=parse_bytes(args.chunk_bytes),
+        verify=not args.no_verify,
+        skip_same_size=args.resume,
+    )
+    verified = f", {report.verified} verified" if report.verified else ""
+    skipped = f", {report.skipped} skipped" if report.skipped else ""
+    print(f"snapshot {args.archive} -> {args.dest}: "
+          f"{report.fragments} fragment(s) ({report.bytes_copied} B) "
+          f"in {report.batches} batch(es){skipped}{verified}")
+    return 0
+
+
+def _cmd_restore(args) -> int:
+    from repro.storage.snapshot import restore_store
+
+    report = restore_store(
+        args.snapshot,
+        args.archive,
+        chunk_bytes=parse_bytes(args.chunk_bytes),
+        verify=not args.no_verify,
+    )
+    deleted = f", {report.deleted} extra fragment(s) deleted" if report.deleted else ""
+    verified = f", {report.verified} verified" if report.verified else ""
+    print(f"restored {args.archive} from {args.snapshot}: "
+          f"{report.fragments} fragment(s) ({report.bytes_copied} B) "
+          f"in {report.batches} batch(es){deleted}{verified}")
     return 0
 
 
@@ -427,6 +523,9 @@ def make_parser() -> argparse.ArgumentParser:
                          help="per-session speculative round-prefetches in flight")
     p_serve.add_argument("--fetch-workers", type=int, default=DEFAULT_MAX_WORKERS,
                          help="per-session fetch-stage threads")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="also serve HTTP /metrics (Prometheus) and "
+                              "/health on this port (0 picks one)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(
@@ -438,6 +537,45 @@ def make_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--port", type=int, default=7117,
                          help="query a running server's live counters")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_compact = sub.add_parser(
+        "compact", help="reclaim tombstoned bytes from an archive's commit log"
+    )
+    p_compact.add_argument("--archive", default=None,
+                           help="compact this archive directory/URL in-process")
+    p_compact.add_argument("--host", default="127.0.0.1")
+    p_compact.add_argument("--port", type=int, default=7117,
+                           help="or ask a running server to compact its store")
+    p_compact.set_defaults(func=_cmd_compact)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="copy a whole archive between two store URLs"
+    )
+    p_snap.add_argument("--archive", required=True,
+                        help="source archive directory or store URL")
+    p_snap.add_argument("--dest", required=True,
+                        help="destination store URL (any scheme)")
+    p_snap.add_argument("--chunk-bytes", default="32M",
+                        help="payload bytes per copy batch (binary suffixes)")
+    p_snap.add_argument("--no-verify", action="store_true",
+                        help="skip the byte-for-byte read-back verification")
+    p_snap.add_argument("--resume", action="store_true",
+                        help="skip fragments the destination already holds "
+                             "at the source's size (re-run after interruption)")
+    p_snap.set_defaults(func=_cmd_snapshot)
+
+    p_restore = sub.add_parser(
+        "restore", help="reset an archive to exactly a snapshot's contents"
+    )
+    p_restore.add_argument("--snapshot", required=True,
+                           help="snapshot store URL to restore from")
+    p_restore.add_argument("--archive", required=True,
+                           help="destination archive directory or store URL")
+    p_restore.add_argument("--chunk-bytes", default="32M",
+                           help="payload bytes per copy batch (binary suffixes)")
+    p_restore.add_argument("--no-verify", action="store_true",
+                           help="skip the byte-for-byte read-back verification")
+    p_restore.set_defaults(func=_cmd_restore)
 
     p_client = sub.add_parser(
         "client", help="QoI-preserved retrieval against a running server"

@@ -17,7 +17,10 @@ variable, then block on one ``store.put`` per fragment.
 * **byte-balanced coalesced flushes** buffer the encoded fragments and
   move them with one :meth:`~repro.storage.store.FragmentStore.put_many`
   per ``flush_bytes`` of payload — one write round trip (and, on the
-  disk stores, one index append) per batch instead of one per fragment;
+  disk stores, one WAL commit record) per batch instead of one per
+  fragment.  Flushes end on variable boundaries, so each batch carries
+  whole variables and a crash mid-ingest leaves every variable either
+  fully old or fully new (see ``docs/durability.md``);
 * **incremental updates**: ingesting into a non-empty archive never
   rewrites fragments of untouched variables.  Re-ingesting an existing
   variable supersedes it — segments of the old representation the new
@@ -63,8 +66,9 @@ class IngestConfig:
     synchronously on the calling thread — flushes are still coalesced,
     which is what keeps the knob orthogonal to batching).
     ``flush_bytes`` is the byte-balance target of each coalesced
-    ``put_many`` flush; a variable larger than the target simply spans
-    several batches.
+    ``put_many`` flush; flushes always end on a variable boundary (the
+    per-variable atomicity guarantee), so a variable larger than the
+    target makes one oversized batch rather than splitting.
     """
 
     workers: int = DEFAULT_INGEST_WORKERS
@@ -154,16 +158,15 @@ class IngestPipeline:
             archive without touching earlier steps.
 
         Returns an :class:`IngestReport`.  On failure the archive may
-        hold a partial update (fragments flush as they are encoded).
-        A *new* variable is never published half-written — its index
-        segment is queued after its payloads, so a crash can truncate
-        payloads but not expose an index pointing at unwritten data.
-        *Re-ingesting an existing* variable overwrites the segment
-        names both representations share in place, so a crash between
-        the first flush touching it and its new index can leave a torn
-        old/new mix under the old index; re-running the ingest repairs
-        it.  Superseded segments are only deleted after every new
-        fragment and index is durably written.
+        hold a partial update, but only at variable granularity: each
+        coalesced flush ends on a variable boundary (a variable's
+        fragments plus its index segment always share one ``put_many``
+        batch), and on the WAL-backed disk stores a batch commits with a
+        single log record — so a process killed anywhere during the
+        ingest leaves every variable loading bit-identically to its old
+        or its new representation, never a torn mix; re-running the
+        ingest is always a safe repair.  Superseded segments are only
+        deleted after every new fragment and index is durably written.
         """
         config = self.config
         if timestep is not None:
@@ -196,9 +199,13 @@ class IngestPipeline:
             buffered = 0
 
         def emit(name, fragments, index) -> None:
-            # canonical order per variable, index segment last: a crash
-            # mid-ingest can truncate a variable's fragments but never
-            # publish an index pointing at unwritten payloads
+            # canonical order per variable, index segment last — and the
+            # flush decision only after the whole variable (index
+            # included) is buffered: every put_many batch holds whole
+            # variables, so on a WAL-backed store each variable commits
+            # atomically (a crash leaves it entirely old or entirely
+            # new).  A variable larger than flush_bytes makes one
+            # oversized batch rather than splitting.
             nonlocal buffered
             items = list(fragments)
             items.append((INDEX_SEGMENT, json.dumps(index).encode()))
@@ -206,8 +213,8 @@ class IngestPipeline:
                 buffer.append((name, segment, payload))
                 buffered += len(payload)
                 written[name].add(segment)
-                if buffered >= config.flush_bytes:
-                    flush()
+            if buffered >= config.flush_bytes:
+                flush()
 
         def consume(outcome) -> None:
             name, total_bytes, fragments, index, encode_s = outcome

@@ -6,8 +6,12 @@
 * :mod:`repro.service.server` — the JSON-lines-over-TCP front end
   (``repro serve`` / ``repro client`` in the CLI) plus a blocking
   :class:`ServiceClient`.
+* :mod:`repro.service.metrics` — the HTTP operability sidecar serving
+  Prometheus-format ``/metrics`` and a JSON ``/health`` probe
+  (``repro serve --metrics-port``).
 """
 
+from repro.service.metrics import MetricsServer, health_payload, render_metrics
 from repro.service.service import ClientSession, RetrievalService, ServiceStats
 from repro.service.server import (
     RetrievalServer,
@@ -26,4 +30,7 @@ __all__ = [
     "ServiceError",
     "encode_array",
     "decode_array",
+    "MetricsServer",
+    "render_metrics",
+    "health_payload",
 ]

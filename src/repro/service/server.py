@@ -14,7 +14,12 @@ line in each direction — so any language can speak it:
   "pmgard_hb"}`` → absorb new or updated variables into the live
   archive through the streaming ingestion engine (optionally with
   ``workers`` / ``flush_bytes`` / ``timestep``), returning its report,
-* ``{"op": "stats"}`` → service/cache accounting.
+* ``{"op": "stats"}`` → service/cache accounting,
+* ``{"op": "health"}`` → liveness summary (variables, sessions, WAL
+  durability counters) — the same payload the sidecar
+  :class:`~repro.service.metrics.MetricsServer` serves on ``/health``,
+* ``{"op": "compact"}`` → compact the backing store's commit log and
+  return the :class:`~repro.storage.wal.CompactionReport`.
 
 Because the session persists for the life of the connection, a client
 that retrieves loosely and then tightens pays only for the incremental
@@ -115,6 +120,12 @@ class _ClientHandler(socketserver.StreamRequestHandler):
             payload = asdict(stats)
             payload["cache"]["hit_rate"] = stats.cache.hit_rate
             return {"ok": True, "stats": payload}
+        if op == "health":
+            from repro.service.metrics import health_payload
+
+            return {"ok": True, "health": health_payload(service)}
+        if op == "compact":
+            return {"ok": True, "report": asdict(service.compact())}
         if op == "retrieve":
             fields = list(request["fields"])
             qoi = qoi_from_spec(request["qoi"], fields)
@@ -205,6 +216,14 @@ class ServiceClient:
     def stats(self) -> dict:
         """Service/cache accounting as plain dicts."""
         return self._call({"op": "stats"})["stats"]
+
+    def health(self) -> dict:
+        """Liveness summary (status, variables, sessions, durability)."""
+        return self._call({"op": "health"})["health"]
+
+    def compact(self) -> dict:
+        """Compact the server's commit log; returns the report as a dict."""
+        return self._call({"op": "compact"})["report"]
 
     def retrieve(
         self,

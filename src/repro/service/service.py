@@ -47,6 +47,7 @@ from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
 from repro.storage.tiered import TieredStore, TierStats
+from repro.storage.wal import CompactionReport, DurabilityStats
 from repro.utils.fragment_keys import timestep_variable
 
 
@@ -60,6 +61,9 @@ class ServiceStats:
     ``store_puts`` / ``store_bytes_written`` / ``store_put_round_trips``
     triple mirrors the read-side store counters for the write path
     (live ingestion through :meth:`RetrievalService.ingest`).
+    ``durability`` carries the backing store's WAL/compaction counters
+    (:class:`~repro.storage.wal.DurabilityStats`; all zeros on backends
+    without a commit log).
     """
 
     sessions_opened: int
@@ -74,6 +78,7 @@ class ServiceStats:
     store_bytes_written: int = 0
     store_put_round_trips: int = 0
     variables_ingested: int = 0
+    durability: DurabilityStats | None = None
 
 
 class RetrievalService:
@@ -291,6 +296,17 @@ class RetrievalService:
         with self._lock:
             self._sessions_active -= 1
 
+    def compact(self) -> CompactionReport:
+        """Compact the backing store's commit log, reclaiming dead bytes.
+
+        Safe to call while clients retrieve and ingests run — the disk
+        stores compact under their write locks and readers never touch
+        dead files.  Returns the store's
+        :class:`~repro.storage.wal.CompactionReport` (all zeros on
+        backends without a commit log).
+        """
+        return self._inner.compact()
+
     def close(self) -> None:
         """Close the backing store (flushes and stops a tiered backend)."""
         self._inner.close()
@@ -314,6 +330,7 @@ class RetrievalService:
                 store_bytes_written=self._inner.bytes_written,
                 store_put_round_trips=self._inner.put_round_trips,
                 variables_ingested=self._variables_ingested,
+                durability=self._inner.durability(),
             )
 
 

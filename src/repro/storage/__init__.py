@@ -14,6 +14,13 @@
 * :mod:`repro.storage.cache` — the shared, byte-budgeted LRU fragment
   cache that lets many clients retrieve through one archive without
   re-reading overlapping fragments from disk.
+* :mod:`repro.storage.wal` — the append-only commit log behind the
+  on-disk stores: crash-atomic multi-fragment writes (stage → one
+  fsync'd commit record → publish), tombstones, and log compaction.
+  See ``docs/durability.md``.
+* :mod:`repro.storage.snapshot` — batched snapshot/restore of a whole
+  store between any two ``open_store`` URLs, with byte-for-byte
+  verification.
 * :mod:`repro.storage.metadata` — dataset manifests recording the
   refactoring metadata Algorithm 2 needs (shapes, value ranges).
 * :mod:`repro.storage.transfer` — the simulated Globus-like wide-area
@@ -45,7 +52,9 @@ from repro.storage.remote import (
     ObjectBucket,
     RemoteFragmentStore,
 )
+from repro.storage.snapshot import SnapshotReport, restore_store, snapshot_store
 from repro.storage.tiered import TieredStore, TierStats, TransferManager
+from repro.storage.wal import CommitLog, CompactionReport, DurabilityStats
 from repro.storage.transfer import GlobusTransferModel, LatencyFragmentStore, TransferReport
 from repro.storage.archive import Archive, FragmentSource, prefetch_plans
 
@@ -71,6 +80,12 @@ __all__ = [
     "TieredStore",
     "TierStats",
     "TransferManager",
+    "CommitLog",
+    "CompactionReport",
+    "DurabilityStats",
+    "SnapshotReport",
+    "snapshot_store",
+    "restore_store",
     "GlobusTransferModel",
     "LatencyFragmentStore",
     "TransferReport",

@@ -11,7 +11,10 @@ which is the deployment story behind the paper's remote-retrieval numbers.
 :func:`encode_fragments` enumeration (the contract the streaming
 ingestion engine shares — see :mod:`repro.core.ingest`), never touches
 other variables, and tombstones the segments a re-saved variable no
-longer holds.  ``load()`` reconstructs a fully functional
+longer holds.  It is also atomic by default: the whole enumeration plus
+the index segment goes down as one ``put_many`` batch — one WAL commit
+record on the disk stores — so a crash mid-save can never leave a torn
+variable (``docs/durability.md``).  ``load()`` reconstructs a fully functional
 :class:`Refactored` object from the store; its readers behave
 identically (byte accounting included) to the ones produced directly by
 the refactorers, which the round-trip tests assert.  ``load(..., lazy=True)`` defers the bulk fragments — the
@@ -364,7 +367,8 @@ class Archive:
 
     # -- save ----------------------------------------------------------------
 
-    def save(self, variable: str, refactored, replace: bool = True) -> dict:
+    def save(self, variable: str, refactored, replace: bool = True,
+             atomic: bool = True) -> dict:
         """Persist *refactored* under *variable*; returns the JSON index.
 
         Incremental by construction: fragments of other variables are
@@ -374,9 +378,19 @@ class Archive:
         variable that the new representation does not overwrite — e.g. a
         re-save with fewer snapshots or planes — are deleted afterwards,
         which appends tombstones on the disk stores so a reopened
-        archive stays consistent.  The variable's index segment is
-        written after its payload fragments, and stale segments are only
-        removed once the new index is durable.
+        archive stays consistent.
+
+        With ``atomic=True`` (the default) every fragment, the
+        variable's index segment, **and** the stale-segment tombstones
+        land in one :meth:`~repro.storage.store.FragmentStore.transact`
+        call — on the WAL-backed disk stores a single commit record, so
+        a process killed mid-save leaves a reopened archive
+        bit-identical to the old version or the new one, never a torn
+        mix and never with leftover superseded segments.
+        ``atomic=False`` restores the serial one-``put``-per-fragment
+        path (the index segment still written last, stale segments
+        deleted afterwards), which the benchmarks use to measure what
+        batching saves.
         """
         fragments, index = encode_fragments(refactored)
         stale: list = []
@@ -384,14 +398,29 @@ class Archive:
             keep = {segment for segment, _ in fragments}
             keep.add(INDEX_SEGMENT)
             stale = [s for s in self.store.segments(variable) if s not in keep]
-        for segment, payload in fragments:
-            self.store.put(variable, segment, payload)
-        self.store.put(variable, INDEX_SEGMENT, json.dumps(index).encode())
-        for segment in stale:
-            try:
-                self.store.delete(variable, segment)
-            except KeyError:
-                pass  # a concurrent writer already superseded it
+        index_payload = json.dumps(index).encode()
+        if atomic:
+            batch = [(variable, segment, payload) for segment, payload in fragments]
+            batch.append((variable, INDEX_SEGMENT, index_payload))
+            while True:
+                try:
+                    self.store.transact(batch, [(variable, s) for s in stale])
+                    break
+                except KeyError:
+                    # a concurrent writer superseded stale segments
+                    # between listing and committing; drop the vanished
+                    # ones and retry (strictly shrinking, so this ends)
+                    live = set(self.store.segments(variable))
+                    stale = [s for s in stale if s in live]
+        else:
+            for segment, payload in fragments:
+                self.store.put(variable, segment, payload)
+            self.store.put(variable, INDEX_SEGMENT, index_payload)
+            for segment in stale:
+                try:
+                    self.store.delete(variable, segment)
+                except KeyError:
+                    pass  # a concurrent writer already superseded it
         self.invalidate_source(variable)
         return index
 

@@ -354,6 +354,24 @@ class CachingFragmentStore(FragmentStore):
         self.inner.delete(variable, segment)
         self.cache.invalidate(variable, segment)
 
+    def transact(self, puts, deletes=()) -> None:
+        """Forward the whole transaction to the inner store in one call.
+
+        Keeps the inner store's atomicity (one WAL commit record on the
+        disk stores) and invalidates every touched key — written and
+        deleted — in one batched cache pass.
+        """
+        batch = self._check_batch(puts)
+        doomed = list(deletes)
+        self.inner.transact(batch, doomed)
+        self.cache.invalidate_many(
+            [(v, s) for v, s, _ in batch] + [(v, s) for v, s in doomed]
+        )
+        with self._stats_lock:
+            if batch:
+                self.put_round_trips += 1
+                self._count_write(len(batch), sum(len(p) for _, _, p in batch))
+
     def get(self, variable: str, segment: str) -> bytes:
         """Read one fragment through the cache (at most one inner read)."""
         payload = self.cache.get_or_load(
@@ -399,3 +417,20 @@ class CachingFragmentStore(FragmentStore):
     def nbytes(self, variable: str | None = None) -> int:
         """Delegate to the inner store's index."""
         return self.inner.nbytes(variable)
+
+    def compact(self):
+        """Compact the inner store (cached payloads are never dead bytes).
+
+        Compaction only reclaims tombstoned files, and every delete on
+        this adapter already invalidated its cached copy — so no cache
+        interaction is needed beyond delegating.
+        """
+        return self.inner.compact()
+
+    def durability(self):
+        """Delegate to the inner store's durability counters."""
+        return self.inner.durability()
+
+    def close(self) -> None:
+        """Close the inner store (the shared cache may outlive it)."""
+        self.inner.close()

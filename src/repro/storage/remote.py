@@ -36,7 +36,10 @@ import threading
 from typing import Protocol, runtime_checkable
 from urllib.parse import parse_qs, quote, unquote, urlparse
 
+from dataclasses import asdict
+
 from repro.storage.store import FragmentStore, split_store_url
+from repro.storage.wal import CompactionReport, DurabilityStats
 
 #: URL path prefix of the fragment protocol (versioned for evolution).
 API_PREFIX = "/v1"
@@ -147,6 +150,9 @@ class _Handler(http.server.BaseHTTPRequestHandler):
             ]
             self._send_json(200, {"fragments": fragments})
             return
+        if route == API_PREFIX + "/durability":
+            self._send_json(200, asdict(self._store.durability()))
+            return
         if route == API_PREFIX + "/frag":
             key = self._key()
             if key is None:
@@ -203,6 +209,11 @@ class _Handler(http.server.BaseHTTPRequestHandler):
         route = self._route()
         if route == API_PREFIX + "/batch_put":
             self._do_batch_put()
+            return
+        if route == API_PREFIX + "/compact":
+            # server-side compaction: the store the payloads live on is
+            # the one whose log and dead files need rewriting
+            self._send_json(200, asdict(self._store.compact()))
             return
         if route != API_PREFIX + "/batch":
             self._send_json(404, {"error": f"no route {route!r}"})
@@ -524,6 +535,24 @@ class HTTPFragmentStore(FragmentStore):
         with self._stats_lock:
             if (variable, segment) in self._sizes:
                 self._record_delete(variable, segment)
+
+    # -- durability -----------------------------------------------------------
+
+    def compact(self) -> CompactionReport:
+        """Ask the server to compact its backing store (one request).
+
+        Compaction must run where the payload files live; the client
+        just triggers it and relays the server's reclaim report.
+        """
+        status, answer = self._request("POST", API_PREFIX + "/compact")
+        self._raise_for(status, answer)
+        return CompactionReport(**json.loads(answer))
+
+    def durability(self) -> DurabilityStats:
+        """The server-side store's durability counters (one request)."""
+        status, answer = self._request("GET", API_PREFIX + "/durability")
+        self._raise_for(status, answer)
+        return DurabilityStats(**json.loads(answer))
 
     # -- lifecycle ------------------------------------------------------------
 

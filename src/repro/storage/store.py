@@ -26,13 +26,25 @@ Byte totals and per-variable segment lists are maintained incrementally
 by ``put`` and ``delete`` — ``nbytes``/``segments``/``size_of`` never
 rescan the index, which keeps them safe to call on retrieval hot paths.
 ``delete`` exists for the tiering layer (:mod:`repro.storage.tiered`):
-demoting a cold fragment out of a fast tier removes its file and appends
-a tombstone to the persisted index, so a reopened store stays consistent.
+demoting a cold fragment out of a fast tier un-indexes it with a
+tombstone in the persisted log, so a reopened store stays consistent.
+
+The on-disk stores are crash-atomic: every write routes through the
+commit log of :mod:`repro.storage.wal` (stage the payload files, commit
+the batch with one fsync'd log record, publish), so a process killed at
+any point leaves a reopened store on exactly the pre- or post-state of
+the interrupted batch.  Deleted payload files are *not* unlinked eagerly
+— they sit as dead bytes until :meth:`FragmentStore.compact` rewrites
+the log to its live entries and reclaims them, returning a
+:class:`~repro.storage.wal.CompactionReport`.
+:meth:`FragmentStore.durability` exposes the WAL/tombstone counters.
+``docs/durability.md`` specifies the full protocol.
 
 :func:`open_store` is the one entry point deployments need: it accepts a
 plain directory path or a store URL (``file://``, ``sharded://``,
 ``memory://``, ``http://``, ``tiered://`` — see ``docs/storage.md``) and
-returns the right backend, auto-detecting on-disk layouts.
+returns the right backend, auto-detecting on-disk layouts.  On-disk URLs
+accept ``?fsync=always|commit|off`` to pick the WAL's fsync discipline.
 """
 
 from __future__ import annotations
@@ -42,6 +54,9 @@ import json
 import os
 import re
 import threading
+
+from repro.storage import wal
+from repro.storage.wal import CommitLog, CompactionReport, DurabilityStats, crash_point
 
 _KEY_RE = re.compile(r"[^A-Za-z0-9._-]")
 
@@ -113,7 +128,7 @@ def _split_query(rest: str) -> tuple:
     return path, dict(parse_qsl(query, keep_blank_values=True))
 
 
-def open_directory_store(archive_dir: str) -> "FragmentStore":
+def open_directory_store(archive_dir: str, fsync: str = "commit") -> "FragmentStore":
     """Open an on-disk archive directory, auto-detecting its layout.
 
     A directory is sharded when it holds the persisted shard index or a
@@ -122,13 +137,15 @@ def open_directory_store(archive_dir: str) -> "FragmentStore":
     cannot); anything else opens as a flat :class:`DiskFragmentStore`.
     The shard index outranks the marker, so a directory that somehow
     carries both layouts still opens the way pre-marker revisions did.
+    *fsync* picks the commit log's discipline (see :mod:`.wal`).
     """
     marker = _read_layout_marker(archive_dir)
     if os.path.isfile(os.path.join(archive_dir, SHARD_INDEX_LOG)) or (
         marker is not None and marker.get("layout") == "sharded"
     ):
-        return ShardedDiskStore(archive_dir)  # fan-out restored from the marker
-    return DiskFragmentStore(archive_dir)
+        # fan-out restored from the marker
+        return ShardedDiskStore(archive_dir, fsync=fsync)
+    return DiskFragmentStore(archive_dir, fsync=fsync)
 
 
 def open_store(url: str) -> "FragmentStore":
@@ -146,18 +163,28 @@ def open_store(url: str) -> "FragmentStore":
       :class:`~repro.storage.tiered.TieredStore` composing a fast tier
       over any slow backend (itself an ``open_store`` URL).
 
+    On-disk schemes accept ``fsync=always|commit|off`` as a query
+    parameter (plain paths take the default discipline).
+
     Raises ``ValueError`` for an unknown scheme or malformed URL.
     """
     scheme, rest = split_store_url(url)
-    if scheme in (None, "file"):
+    if scheme is None:
         return open_directory_store(rest)
+    if scheme == "file":
+        path, params = _split_query(rest)
+        return open_directory_store(path, fsync=params.get("fsync", "commit"))
     if scheme == "memory":
         return FragmentStore()
     if scheme == "sharded":
         path, params = _split_query(rest)
         if not path:
             raise ValueError(f"sharded:// URL needs a directory path: {url!r}")
-        return ShardedDiskStore(path, fanout=int(params.get("fanout", 256)))
+        return ShardedDiskStore(
+            path,
+            fanout=int(params.get("fanout", 256)),
+            fsync=params.get("fsync", "commit"),
+        )
     if scheme == "http":
         from repro.storage.remote import HTTPFragmentStore
 
@@ -292,6 +319,25 @@ class FragmentStore:
         self._data.pop((variable, segment), None)
         self._record_delete(variable, segment)
 
+    def transact(self, puts, deletes=()) -> None:
+        """Apply a batch of puts and then deletes as one transaction.
+
+        *puts* is a ``put_many`` batch; *deletes* is an iterable of
+        ``(variable, segment)`` keys, which must exist and must not
+        collide with the batch's keys.  On the WAL-backed disk stores
+        the whole transaction is a single fsync'd commit record, so a
+        crash leaves either none or all of it — this is what makes
+        ``Archive.save`` (new fragments in, superseded segments out)
+        atomic.  This base implementation — inherited by the in-memory
+        store and the wrapper stores, where the delegated operations
+        are individually safe — applies the parts sequentially without
+        a joint atomicity guarantee.
+        """
+        if puts:
+            self.put_many(puts)
+        for variable, segment in deletes:
+            self.delete(variable, segment)
+
     # -- read -----------------------------------------------------------------
 
     def get(self, variable: str, segment: str) -> bytes:
@@ -352,6 +398,27 @@ class FragmentStore:
             return self._total_bytes
         return self._var_bytes.get(variable, 0)
 
+    # -- durability ------------------------------------------------------------
+
+    def compact(self) -> CompactionReport:
+        """Reclaim tombstoned bytes; returns what was collected.
+
+        The in-memory store has nothing to reclaim (deletes free payloads
+        immediately), so this base implementation is a zero no-op report.
+        The on-disk stores rewrite their commit log to its live entries
+        and unlink dead payload files; composite stores (tiered, caching,
+        HTTP) delegate and merge per-backend reports.
+        """
+        return CompactionReport()
+
+    def durability(self) -> DurabilityStats:
+        """Durability counters of this handle (WAL traffic, dead bytes).
+
+        All-zero for backends without a commit log; the on-disk stores
+        report real counters and composite stores aggregate them.
+        """
+        return DurabilityStats()
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
@@ -375,9 +442,14 @@ class DiskFragmentStore(FragmentStore):
     ``root`` for fragment files and replays the append-only key log (which
     preserves the original keys that filename sanitization would lose), so
     ``has``/``get``/``segments``/``nbytes`` work on a reopened store.
+
+    All writes follow the stage → commit → publish protocol of
+    :mod:`repro.storage.wal`, so a kill anywhere leaves a reopened store
+    on the batch's pre- or post-state.  Deletes tombstone without
+    unlinking; :meth:`compact` reclaims the dead files.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, fsync: str = "commit"):
         super().__init__()
         self.root = root
         self._lock = threading.Lock()
@@ -385,6 +457,10 @@ class DiskFragmentStore(FragmentStore):
         # the same order per key) without making readers — who only take
         # self._lock briefly — wait behind batch file I/O
         self._write_lock = threading.Lock()
+        self._log = CommitLog(os.path.join(root, DISK_INDEX_LOG), fsync=fsync)
+        self._dead: dict = {}  # dead file name -> reclaimable bytes
+        self._compactions = 0
+        self._reclaimed_bytes = 0
         os.makedirs(root, exist_ok=True)
         self._reindex()
 
@@ -400,44 +476,68 @@ class DiskFragmentStore(FragmentStore):
             pass  # best-effort: open_store falls back to index heuristics
 
     def _reindex(self) -> None:
-        log_path = os.path.join(self.root, DISK_INDEX_LOG)
-        logged_files = set()
-        if os.path.isfile(log_path):
-            with open(log_path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    entry = json.loads(line)
-                    var, seg = entry["variable"], entry["segment"]
-                    if entry.get("deleted"):
-                        # tombstone: un-index the key; the file name stays
-                        # in logged_files so a leftover file (unlink lost
-                        # to a crash) is not resurrected by the rescan
-                        if (var, seg) in self._sizes:
-                            self._data.pop((var, seg), None)
-                            self._record_delete(var, seg)
-                        logged_files.add(entry.get("file", ""))
-                        continue
-                    nbytes = entry.get("nbytes")
-                    if nbytes is None:  # log predates size tracking
-                        try:
-                            nbytes = os.path.getsize(
-                                os.path.join(self.root, entry["file"])
-                            )
-                        except OSError:
-                            # dangling entry (file cleaned up externally):
-                            # keep the key indexed — size 0, unreadable on
-                            # access — rather than failing the whole open
-                            nbytes = 0
-                    self._data[(var, seg)] = None
-                    self._record_put(var, seg, int(nbytes))
-                    logged_files.add(entry["file"])
+        log_existed = self._log.exists()
+        file_txn: dict = {}  # file name -> last committed writer txn
+        for txn, entries in self._log.replay():
+            for entry in entries:
+                var, seg = entry["variable"], entry["segment"]
+                if entry.get("deleted"):
+                    if (var, seg) in self._sizes:
+                        self._data.pop((var, seg), None)
+                        self._record_delete(var, seg)
+                    continue
+                nbytes = entry.get("nbytes")
+                if nbytes is None:  # log predates size tracking
+                    try:
+                        nbytes = os.path.getsize(
+                            os.path.join(self.root, entry["file"])
+                        )
+                    except OSError:
+                        # dangling entry (file cleaned up externally):
+                        # keep the key indexed — size 0, unreadable on
+                        # access — rather than failing the whole open
+                        nbytes = 0
+                self._data[(var, seg)] = None
+                self._record_put(var, seg, int(nbytes))
+                file_txn[entry["file"]] = 0 if txn is None else txn
+        # Resolve staged files an interrupted batch left behind: publish
+        # a staged payload whose transaction committed and is still the
+        # path's latest writer; discard everything else (the batch never
+        # committed, or a later batch superseded it).
+        listing = sorted(os.listdir(self.root))
+        for fname in listing:
+            parsed = wal.split_staged(fname)
+            if parsed is None:
+                continue
+            final, txn = parsed
+            staged = os.path.join(self.root, fname)
+            if txn in self._log.committed and file_txn.get(final) == txn:
+                wal.publish_staged(staged, os.path.join(self.root, final))
+            else:
+                wal.discard_staged(staged)
+        if log_existed:
+            # The log is authoritative: any fragment file it does not
+            # index live is dead weight (a delete awaiting reclaim, or a
+            # compaction interrupted before its unlink pass) — never
+            # resurrect it, earmark it for the next compact().
+            live_files = {
+                os.path.basename(self._path(var, seg)) for var, seg in self._sizes
+            }
+            for fname in listing:
+                if not fname.endswith(".bin") or fname in live_files:
+                    continue
+                try:
+                    self._dead[fname] = os.path.getsize(
+                        os.path.join(self.root, fname)
+                    )
+                except OSError:
+                    continue  # vanished between listdir and stat
+            return
         # Legacy directories (written before the key log existed) are
         # recovered from filenames; sanitization is idempotent, so lookups
         # on the recovered keys resolve to the same files.
-        for fname in sorted(os.listdir(self.root)):
-            if fname in logged_files or not fname.endswith(".bin") or "__" not in fname:
+        for fname in listing:
+            if not fname.endswith(".bin") or "__" not in fname:
                 continue
             var, seg = fname[:-4].split("__", 1)
             try:
@@ -453,86 +553,175 @@ class DiskFragmentStore(FragmentStore):
         return os.path.join(self.root, f"{safe_var}__{safe_seg}.bin")
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
-        """Write one fragment file atomically and append to the key log."""
+        """Archive one fragment via stage → commit → publish.
+
+        A singleton batch: identical accounting (one put, one write
+        round trip) and the identical crash-atomicity protocol.
+        """
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
-        path = self._path(variable, segment)
-        with self._write_lock:
-            _write_atomic(path, bytes(payload))
-            with self._lock:
-                self._write_marker()
-                self._data[(variable, segment)] = None  # index only; bytes on disk
-                self._record_put(variable, segment, len(payload))
-                # overwrites append too: replay keeps the *last* entry's
-                # size, so a reopened store reports the current payload bytes
-                entry = {
-                    "variable": variable,
-                    "segment": segment,
-                    "file": os.path.basename(path),
-                    "nbytes": len(payload),
-                }
-                with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
-                    fh.write(json.dumps(entry) + "\n")
-                self.put_round_trips += 1
-                self._count_write(1, len(payload))
+        self.put_many([(variable, segment, payload)])
 
     def put_many(self, items) -> None:
-        """Write a batch of fragment files with a single index append.
+        """Archive a batch crash-atomically with one fsync'd commit record.
 
-        Files are written in batch order — preserving each variable's
+        Stage → commit → publish: every payload lands in a staged sibling
+        file first, one log append commits the whole batch, then each
+        staged file is atomically renamed live.  A kill before the commit
+        record leaves the store exactly as it was; a kill after it leaves
+        a batch that recovery finishes publishing on reopen — never a
+        torn mix.  Files land in batch order — preserving each variable's
         segment insertion order, so a batched archive indexes identically
-        to a serial one.  The batch holds the writer lock (same-key races
-        between writers keep file content and index order consistent)
-        but not the reader lock, so concurrent reads are never stalled
-        behind the batch's disk writes; the key log grows by one append
-        (one ``write`` call for the whole batch) instead of one per
-        fragment.
+        to a serial one.  The batch holds the writer lock but not the
+        reader lock, so concurrent reads never stall behind batch I/O,
+        and the log grows by one append for the whole batch.
         """
-        batch = self._check_batch(items)
-        lines = []
+        self.transact(items)
+
+    def transact(self, puts, deletes=()) -> None:
+        """Commit a batch of puts plus tombstones in one WAL record.
+
+        The puts follow the stage → commit → publish protocol of
+        :meth:`put_many`; each *deletes* key contributes a tombstone
+        entry to the **same** fsync'd commit record, so the whole
+        transaction — e.g. an ``Archive.save`` replacing a variable's
+        segment set — is atomic across a crash: the reopened store
+        holds either none of it or all of it.  Delete keys must exist
+        and must not collide with the batch (ValueError), and the
+        tombstoned files wait for :meth:`compact` as usual.
+        """
+        batch = self._check_batch(puts)
+        doomed = list(dict.fromkeys((str(v), str(s)) for v, s in deletes))
+        overlap = {(v, s) for v, s, _ in batch} & set(doomed)
+        if overlap:
+            raise ValueError(f"keys both written and deleted: {sorted(overlap)}")
+        entries = []
+        staged: dict = {}  # final path -> staged path (last write wins)
         total = 0
         with self._write_lock:
+            dead_names: dict = {}  # doomed key -> (file name, nbytes)
+            if doomed:
+                with self._lock:
+                    missing = [k for k in doomed if k not in self._data]
+                    if missing:
+                        raise KeyError(missing[0] if len(missing) == 1 else missing)
+                    dead_names = {
+                        (v, s): (
+                            os.path.basename(self._path(v, s)),
+                            self._sizes[(v, s)],
+                        )
+                        for v, s in doomed
+                    }
+            txn = self._log.reserve()
+            crash_point("disk.stage")
             for variable, segment, payload in batch:
                 path = self._path(variable, segment)
-                _write_atomic(path, payload)
+                staged[path] = wal.write_staged(
+                    path, payload, txn, fsync=self._log.fsync_payloads
+                )
                 total += len(payload)
-                lines.append(json.dumps({
+                entries.append({
                     "variable": variable,
                     "segment": segment,
                     "file": os.path.basename(path),
                     "nbytes": len(payload),
-                }))
+                })
+                crash_point("disk.staged")
+            for variable, segment in doomed:
+                crash_point("disk.tombstone")
+                entries.append({
+                    "variable": variable,
+                    "segment": segment,
+                    "file": dead_names[(variable, segment)][0],
+                    "deleted": True,
+                })
+            self._log.append(entries, txn=txn)  # the atomicity point
+            for path, spath in staged.items():
+                crash_point("disk.publish")
+                wal.publish_staged(spath, path)
             with self._lock:
                 self._write_marker()
                 for variable, segment, payload in batch:
+                    self._dead.pop(os.path.basename(self._path(variable, segment)), None)
                     self._data[(variable, segment)] = None
                     self._record_put(variable, segment, len(payload))
-                if lines:
-                    with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
-                        fh.write("\n".join(lines) + "\n")
-                self.put_round_trips += 1
-                self._count_write(len(batch), total)
+                for variable, segment in doomed:
+                    fname, nbytes = dead_names[(variable, segment)]
+                    del self._data[(variable, segment)]
+                    self._record_delete(variable, segment)
+                    self._dead[fname] = nbytes
+                if batch:
+                    self.put_round_trips += 1
+                    self._count_write(len(batch), total)
 
     def delete(self, variable: str, segment: str) -> None:
-        """Remove one fragment's file and append a tombstone to the log."""
+        """Tombstone one fragment; its file waits for :meth:`compact`.
+
+        Only the fsync'd tombstone record is written — the payload file
+        stays on disk as dead bytes (invisible to the index, so reads
+        raise ``KeyError`` immediately) until compaction reclaims it.
+        """
+        self.transact((), [(variable, segment)])
+
+    def compact(self) -> CompactionReport:
+        """Rewrite the log to live entries and unlink dead payload files.
+
+        Holds the writer lock for the whole pass (writers queue briefly;
+        readers are never blocked — live files are untouched and the log
+        rewrite is an atomic rename).  Crash-safe: a kill before the
+        rewrite leaves the old log; one after it leaves orphaned dead
+        files that the next reopen re-earmarks and the next compact
+        reclaims.
+        """
+        with self._write_lock:
+            report = CompactionReport(log_bytes_before=self._log.nbytes())
+            with self._lock:
+                entries = [
+                    {
+                        "variable": var,
+                        "segment": seg,
+                        "file": os.path.basename(self._path(var, seg)),
+                        "nbytes": nbytes,
+                    }
+                    for (var, seg), nbytes in self._sizes.items()
+                ]
+                dead = dict(self._dead)
+            crash_point("compact.begin")
+            self._log.rewrite(entries)
+            crash_point("compact.rewritten")
+            removed = reclaimed = 0
+            for fname, nbytes in dead.items():
+                try:
+                    os.remove(os.path.join(self.root, fname))
+                except OSError:
+                    continue  # already gone; nothing reclaimed
+                removed += 1
+                reclaimed += nbytes
+                crash_point("compact.unlink")
+            with self._lock:
+                for fname in dead:
+                    self._dead.pop(fname, None)
+                self._compactions += 1
+                self._reclaimed_bytes += reclaimed
+            report.compactions = 1
+            report.removed_files = removed
+            report.reclaimed_bytes = reclaimed
+            report.log_bytes_after = self._log.nbytes()
+            report.live_fragments = len(entries)
+            return report
+
+    def durability(self) -> DurabilityStats:
+        """WAL and tombstone counters of this handle."""
         with self._lock:
-            if (variable, segment) not in self._data:
-                raise KeyError((variable, segment))
-            path = self._path(variable, segment)
-            try:
-                os.remove(path)
-            except OSError:
-                pass  # already gone; the tombstone still un-indexes it
-            del self._data[(variable, segment)]
-            self._record_delete(variable, segment)
-            entry = {
-                "variable": variable,
-                "segment": segment,
-                "file": os.path.basename(path),
-                "deleted": True,
-            }
-            with open(os.path.join(self.root, DISK_INDEX_LOG), "a") as fh:
-                fh.write(json.dumps(entry) + "\n")
+            return DurabilityStats(
+                wal_commits=self._log.commits,
+                wal_entries=self._log.entries_appended,
+                log_bytes=self._log.nbytes(),
+                tombstones=len(self._dead),
+                dead_bytes=sum(self._dead.values()),
+                compactions=self._compactions,
+                reclaimed_bytes=self._reclaimed_bytes,
+            )
 
     def get(self, variable: str, segment: str) -> bytes:
         """Read one fragment file; KeyError when unindexed."""
@@ -591,7 +780,7 @@ class ShardedDiskStore(FragmentStore):
     already points at.
     """
 
-    def __init__(self, root: str, fanout: int = 256):
+    def __init__(self, root: str, fanout: int = 256, fsync: str = "commit"):
         super().__init__()
         self.root = root
         self._lock = threading.Lock()
@@ -600,6 +789,10 @@ class ShardedDiskStore(FragmentStore):
         self._write_lock = threading.Lock()
         self._index: dict = {}  # (variable, segment) -> relpath
         self._log_path = os.path.join(root, SHARD_INDEX_LOG)
+        self._log = CommitLog(self._log_path, fsync=fsync)
+        self._dead: dict = {}  # dead relpath -> reclaimable bytes
+        self._compactions = 0
+        self._reclaimed_bytes = 0
         os.makedirs(root, exist_ok=True)
         marker = _read_layout_marker(root)
         if marker is not None and marker.get("layout") == "sharded":
@@ -607,21 +800,60 @@ class ShardedDiskStore(FragmentStore):
         if fanout < 1:  # validate the *effective* width, marker included
             raise ValueError("fanout must be >= 1")
         self.fanout = int(fanout)
-        if os.path.isfile(self._log_path):
-            with open(self._log_path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    entry = json.loads(line)
-                    var, seg = entry["variable"], entry["segment"]
-                    if entry.get("deleted"):
-                        if (var, seg) in self._index:
-                            del self._index[(var, seg)]
-                            self._record_delete(var, seg)
-                        continue
-                    self._index[(var, seg)] = entry["path"]
-                    self._record_put(var, seg, int(entry["nbytes"]))
+        self._reindex()
+
+    def _reindex(self) -> None:
+        log_existed = self._log.exists()
+        file_txn: dict = {}  # relpath -> last committed writer txn
+        for txn, entries in self._log.replay():
+            for entry in entries:
+                var, seg = entry["variable"], entry["segment"]
+                if entry.get("deleted"):
+                    if (var, seg) in self._index:
+                        del self._index[(var, seg)]
+                        self._record_delete(var, seg)
+                    continue
+                self._index[(var, seg)] = entry["path"]
+                self._record_put(var, seg, int(entry["nbytes"]))
+                file_txn[entry["path"]] = 0 if txn is None else txn
+        if not log_existed:
+            return
+        # One pass over the shard directories: resolve staged leftovers
+        # (publish iff committed and still the path's latest writer) and
+        # earmark dead payload files — anything the log does not index
+        # live — for the next compact().
+        live = set(self._index.values())
+        for rel, size in self._scan_shards():
+            parsed = wal.split_staged(rel)
+            if parsed is not None:
+                final, txn = parsed
+                staged = os.path.join(self.root, rel)
+                if txn in self._log.committed and file_txn.get(final) == txn:
+                    wal.publish_staged(staged, os.path.join(self.root, final))
+                else:
+                    wal.discard_staged(staged)
+                continue
+            if rel not in live:
+                self._dead[rel] = size
+
+    def _scan_shards(self):
+        """Yield ``(relpath, nbytes)`` for every file under a shard dir."""
+        try:
+            top = sorted(os.scandir(self.root), key=lambda e: e.name)
+        except OSError:
+            return
+        for shard in top:
+            if not shard.is_dir():
+                continue
+            try:
+                files = sorted(os.scandir(shard.path), key=lambda e: e.name)
+            except OSError:
+                continue
+            for item in files:
+                try:
+                    yield os.path.join(shard.name, item.name), item.stat().st_size
+                except OSError:
+                    continue  # vanished between scandir and stat
 
     def _write_marker(self) -> None:
         # on first put, never on open (read-only mounts must stay openable)
@@ -643,81 +875,156 @@ class ShardedDiskStore(FragmentStore):
         return os.path.join(shard, f"{safe_var}__{safe_seg}__{digest[:8]}.bin")
 
     def put(self, variable: str, segment: str, payload: bytes) -> None:
-        """Write one fragment into its hashed shard and log the index entry."""
+        """Archive one fragment into its hashed shard (a singleton batch)."""
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("fragment payload must be bytes")
-        rel = self._relpath(variable, segment)
-        path = os.path.join(self.root, rel)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        entry = {
-            "variable": variable,
-            "segment": segment,
-            "path": rel,
-            "nbytes": len(payload),
-        }
-        with self._write_lock:
-            _write_atomic(path, bytes(payload))
-            with self._lock:
-                self._write_marker()
-                self._index[(variable, segment)] = rel
-                self._record_put(variable, segment, len(payload))
-                with open(self._log_path, "a") as fh:
-                    fh.write(json.dumps(entry) + "\n")
-                self.put_round_trips += 1
-                self._count_write(1, len(payload))
+        self.put_many([(variable, segment, payload)])
 
     def put_many(self, items) -> None:
-        """Write a batch grouped per shard, with a single index append.
+        """Archive a batch crash-atomically, grouped per shard.
 
-        Shard directories are created once per distinct shard (not once
-        per fragment) and files land in batch order, so each variable's
-        segment insertion order matches a serial sequence of ``put``
-        calls; the persisted index grows by one append for the whole
-        batch.  Like :meth:`put`, the batch holds the writer lock but
-        takes the reader lock only for the index update, so concurrent
-        reads never stall behind batch file I/O.
+        The stage → commit → publish protocol of the flat store, plus the
+        shard grouping: shard directories are created once per distinct
+        shard, files land in batch order (each variable's segment
+        insertion order matches a serial sequence of ``put`` calls), and
+        the persisted index grows by one fsync'd commit record for the
+        whole batch.  The batch holds the writer lock but takes the
+        reader lock only for the index update, so concurrent reads never
+        stall behind batch file I/O.
         """
-        batch = self._check_batch(items)
+        self.transact(items)
+
+    def transact(self, puts, deletes=()) -> None:
+        """Commit a batch of puts plus tombstones in one WAL record.
+
+        The sharded twin of :meth:`DiskFragmentStore.transact`: puts
+        stage → commit → publish into their hashed shards, and each
+        *deletes* key adds a tombstone entry to the same fsync'd commit
+        record — one atomic transaction across a crash.  Delete keys
+        must exist and must not collide with the batch (ValueError).
+        """
+        batch = self._check_batch(puts)
+        doomed = list(dict.fromkeys((str(v), str(s)) for v, s in deletes))
+        overlap = {(v, s) for v, s, _ in batch} & set(doomed)
+        if overlap:
+            raise ValueError(f"keys both written and deleted: {sorted(overlap)}")
         rels = [self._relpath(v, s) for v, s, _ in batch]
         for shard in {os.path.dirname(rel) for rel in rels}:
             os.makedirs(os.path.join(self.root, shard), exist_ok=True)
-        lines = []
+        entries = []
+        staged: dict = {}  # final path -> staged path (last write wins)
         total = 0
         with self._write_lock:
+            dead_rels: dict = {}  # doomed key -> (relpath, nbytes)
+            if doomed:
+                with self._lock:
+                    missing = [k for k in doomed if k not in self._index]
+                    if missing:
+                        raise KeyError(missing[0] if len(missing) == 1 else missing)
+                    dead_rels = {
+                        (v, s): (self._index[(v, s)], self._sizes[(v, s)])
+                        for v, s in doomed
+                    }
+            txn = self._log.reserve()
+            crash_point("disk.stage")
             for (variable, segment, payload), rel in zip(batch, rels):
-                _write_atomic(os.path.join(self.root, rel), payload)
+                path = os.path.join(self.root, rel)
+                staged[path] = wal.write_staged(
+                    path, payload, txn, fsync=self._log.fsync_payloads
+                )
                 total += len(payload)
-                lines.append(json.dumps({
+                entries.append({
                     "variable": variable,
                     "segment": segment,
                     "path": rel,
                     "nbytes": len(payload),
-                }))
+                })
+                crash_point("disk.staged")
+            for variable, segment in doomed:
+                crash_point("disk.tombstone")
+                entries.append(
+                    {"variable": variable, "segment": segment, "deleted": True}
+                )
+            self._log.append(entries, txn=txn)  # the atomicity point
+            for path, spath in staged.items():
+                crash_point("disk.publish")
+                wal.publish_staged(spath, path)
             with self._lock:
                 self._write_marker()
                 for (variable, segment, payload), rel in zip(batch, rels):
+                    self._dead.pop(rel, None)
                     self._index[(variable, segment)] = rel
                     self._record_put(variable, segment, len(payload))
-                if lines:
-                    with open(self._log_path, "a") as fh:
-                        fh.write("\n".join(lines) + "\n")
-                self.put_round_trips += 1
-                self._count_write(len(batch), total)
+                for variable, segment in doomed:
+                    rel, nbytes = dead_rels[(variable, segment)]
+                    del self._index[(variable, segment)]
+                    self._record_delete(variable, segment)
+                    self._dead[rel] = nbytes
+                if batch:
+                    self.put_round_trips += 1
+                    self._count_write(len(batch), total)
 
     def delete(self, variable: str, segment: str) -> None:
-        """Remove one fragment's file and append a tombstone to the index."""
+        """Tombstone one fragment; its file waits for :meth:`compact`."""
+        self.transact((), [(variable, segment)])
+
+    def compact(self) -> CompactionReport:
+        """Rewrite the index log to live entries and reclaim dead files.
+
+        Identical protocol and guarantees to
+        :meth:`DiskFragmentStore.compact`, with the dead-file pass
+        walking only the relpaths earmarked at delete/reopen time (no
+        full shard scan — reopen already did one).
+        """
+        with self._write_lock:
+            report = CompactionReport(log_bytes_before=self._log.nbytes())
+            with self._lock:
+                entries = [
+                    {
+                        "variable": var,
+                        "segment": seg,
+                        "path": rel,
+                        "nbytes": self._sizes[(var, seg)],
+                    }
+                    for (var, seg), rel in self._index.items()
+                ]
+                dead = dict(self._dead)
+            crash_point("compact.begin")
+            self._log.rewrite(entries)
+            crash_point("compact.rewritten")
+            removed = reclaimed = 0
+            for rel, nbytes in dead.items():
+                try:
+                    os.remove(os.path.join(self.root, rel))
+                except OSError:
+                    continue  # already gone; nothing reclaimed
+                removed += 1
+                reclaimed += nbytes
+                crash_point("compact.unlink")
+            with self._lock:
+                for rel in dead:
+                    self._dead.pop(rel, None)
+                self._compactions += 1
+                self._reclaimed_bytes += reclaimed
+            report.compactions = 1
+            report.removed_files = removed
+            report.reclaimed_bytes = reclaimed
+            report.log_bytes_after = self._log.nbytes()
+            report.live_fragments = len(entries)
+            return report
+
+    def durability(self) -> DurabilityStats:
+        """WAL and tombstone counters of this handle."""
         with self._lock:
-            if (variable, segment) not in self._index:
-                raise KeyError((variable, segment))
-            rel = self._index.pop((variable, segment))
-            try:
-                os.remove(os.path.join(self.root, rel))
-            except OSError:
-                pass  # already gone; the tombstone still un-indexes it
-            self._record_delete(variable, segment)
-            entry = {"variable": variable, "segment": segment, "deleted": True}
-            with open(self._log_path, "a") as fh:
-                fh.write(json.dumps(entry) + "\n")
+            return DurabilityStats(
+                wal_commits=self._log.commits,
+                wal_entries=self._log.entries_appended,
+                log_bytes=self._log.nbytes(),
+                tombstones=len(self._dead),
+                dead_bytes=sum(self._dead.values()),
+                compactions=self._compactions,
+                reclaimed_bytes=self._reclaimed_bytes,
+            )
 
     def get(self, variable: str, segment: str) -> bytes:
         """Read one fragment via the persisted index; KeyError when absent."""

@@ -20,7 +20,9 @@ composition as one :class:`~repro.storage.store.FragmentStore`:
   hot ones into the fast tier in coalesced batches and *demotes* the
   coldest residents when the fast tier exceeds its byte budget (flushing
   dirty write-back data first, then ``delete`` — never dropping the only
-  copy).
+  copy).  When tombstoned debt across the tiers crosses a threshold, a
+  cycle also runs a background :meth:`TieredStore.compact`, reclaiming
+  the dead bytes the WAL-backed tier stores defer (``docs/durability.md``).
 
 Promotion and demotion are invisible to correctness: a demotion racing a
 read simply falls back to the slow tier, and every fragment is always
@@ -41,12 +43,17 @@ from repro.storage.store import (
     split_store_url,
     _split_query,
 )
+from repro.storage.wal import CompactionReport, DurabilityStats
 
 #: Slow-tier accesses after which a fragment is a promotion candidate.
 DEFAULT_PROMOTE_AFTER = 1
 
 #: Default background transfer cycle period (seconds).
 DEFAULT_TRANSFER_INTERVAL = 2.0
+
+#: Dead (tombstoned) bytes across the tiers at which a transfer cycle
+#: triggers a background compaction of the tier stores.
+DEFAULT_COMPACT_DEAD_BYTES = 64 << 20
 
 #: Byte bound of one coalesced write-back flush batch: keeps a huge
 #: dirty set (a large write-back ingest) from materializing in memory
@@ -124,6 +131,7 @@ class TieredStore(FragmentStore):
         policy: str = "write-through",
         promote_after: int = DEFAULT_PROMOTE_AFTER,
         transfer_interval: float = DEFAULT_TRANSFER_INTERVAL,
+        compact_dead_bytes: int | None = DEFAULT_COMPACT_DEAD_BYTES,
     ):
         super().__init__()
         if policy not in ("write-through", "write-back"):
@@ -137,6 +145,13 @@ class TieredStore(FragmentStore):
             None if fast_budget_bytes is None else int(fast_budget_bytes)
         )
         self.promote_after = int(promote_after)
+        # serializes client mutations (put/put_many/delete) with each
+        # demotion victim's read-put-delete sequence: without it a
+        # write-back put landing between demote's fast.get and its
+        # fast.delete would lose the newer payload silently.  Lock
+        # ordering is strict: _mutate_lock before _tier_lock, and
+        # neither is ever taken while holding the other in reverse.
+        self._mutate_lock = threading.RLock()
         self._tier_lock = threading.RLock()
         self._resident: set = set(fast.keys())  # keys served by the fast tier
         self._dirty: set = set()  # write-back keys the slow tier lacks
@@ -147,7 +162,11 @@ class TieredStore(FragmentStore):
         self._tstats = TierStats(
             fast_budget_bytes=self.fast_budget_bytes or 0,
         )
-        self.transfer = TransferManager(self, interval=float(transfer_interval))
+        self.transfer = TransferManager(
+            self,
+            interval=float(transfer_interval),
+            compact_dead_bytes=compact_dead_bytes,
+        )
         # the union index: slow tier first, fast-tier-only keys (write-back
         # survivors, pre-seeded fast tiers) on top
         for variable, segment in slow.keys():
@@ -168,9 +187,11 @@ class TieredStore(FragmentStore):
         composition: ``slow=`` (required; any ``open_store`` URL —
         percent-encode it if it carries its own query), ``fast=`` (a
         store URL overriding the path), ``budget=`` (bytes, binary
-        suffixes allowed), ``policy=``, ``promote_after=``, and
+        suffixes allowed), ``policy=``, ``promote_after=``,
         ``interval=`` (seconds; ``start=1`` launches the background
-        thread immediately).
+        thread immediately), ``fsync=`` (WAL discipline of the fast-tier
+        directory), and ``compact_dead=`` (dead-byte threshold of
+        background compaction; ``0`` disables it).
         """
         scheme, rest = split_store_url(url)
         if scheme != "tiered":
@@ -182,10 +203,15 @@ class TieredStore(FragmentStore):
         if "fast" in params:
             fast = open_store(params["fast"])
         elif path:
-            fast = open_store(path)
+            fast = open_store(f"file://{path}?fsync={params.get('fsync', 'commit')}")
         else:
             fast = FragmentStore()
         budget = params.get("budget")
+        compact_dead: int | None = parse_bytes(
+            params.get("compact_dead", DEFAULT_COMPACT_DEAD_BYTES)
+        )
+        if compact_dead == 0:
+            compact_dead = None
         store = cls(
             fast,
             slow,
@@ -195,6 +221,7 @@ class TieredStore(FragmentStore):
             transfer_interval=float(
                 params.get("interval", DEFAULT_TRANSFER_INTERVAL)
             ),
+            compact_dead_bytes=compact_dead,
         )
         if params.get("start", "0") not in ("0", "", "false"):
             store.start_transfer()
@@ -284,18 +311,19 @@ class TieredStore(FragmentStore):
             raise TypeError("fragment payload must be bytes")
         payload = bytes(payload)
         key = (variable, segment)
-        self.fast.put(variable, segment, payload)
-        if self.policy == "write-through":
-            self.slow.put(variable, segment, payload)
-        with self._tier_lock:
-            self._resident.add(key)
-            if self.policy == "write-back":
-                self._dirty.add(key)
-                self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
-        with self._stats_lock:
-            self._record_put(variable, segment, len(payload))
-            self.put_round_trips += 1
-            self._count_write(1, len(payload))
+        with self._mutate_lock:  # never interleaves with a demotion victim
+            self.fast.put(variable, segment, payload)
+            if self.policy == "write-through":
+                self.slow.put(variable, segment, payload)
+            with self._tier_lock:
+                self._resident.add(key)
+                if self.policy == "write-back":
+                    self._dirty.add(key)
+                    self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
+            with self._stats_lock:
+                self._record_put(variable, segment, len(payload))
+                self.put_round_trips += 1
+                self._count_write(1, len(payload))
 
     def put_many(self, items) -> None:
         """Store a batch under the configured write policy (batched per tier).
@@ -309,45 +337,58 @@ class TieredStore(FragmentStore):
         must touch *now*, never one per fragment.
         """
         batch = self._check_batch(items)
-        self.fast.put_many(batch)
-        if self.policy == "write-through":
-            self.slow.put_many(batch)
-        keys = [(v, s) for v, s, _ in batch]
-        with self._tier_lock:
-            self._resident.update(keys)
-            if self.policy == "write-back":
-                self._dirty.update(keys)
-                for key in keys:
-                    self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
-        with self._stats_lock:
-            for variable, segment, payload in batch:
-                self._record_put(variable, segment, len(payload))
-            self.put_round_trips += 1
-            self._count_write(len(batch), sum(len(p) for _, _, p in batch))
+        with self._mutate_lock:  # never interleaves with a demotion victim
+            self.fast.put_many(batch)
+            if self.policy == "write-through":
+                self.slow.put_many(batch)
+            keys = [(v, s) for v, s, _ in batch]
+            with self._tier_lock:
+                self._resident.update(keys)
+                if self.policy == "write-back":
+                    self._dirty.update(keys)
+                    for key in keys:
+                        self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
+            with self._stats_lock:
+                for variable, segment, payload in batch:
+                    self._record_put(variable, segment, len(payload))
+                self.put_round_trips += 1
+                self._count_write(len(batch), sum(len(p) for _, _, p in batch))
 
     def delete(self, variable: str, segment: str) -> None:
         """Remove one fragment from every tier holding it."""
         key = (variable, segment)
-        if key not in self._sizes:
-            raise KeyError(key)
-        with self._tier_lock:
-            resident = key in self._resident
-            self._resident.discard(key)
-            self._dirty.discard(key)
-            self._dirty_epoch.pop(key, None)
-            self._access.pop(key, None)
-            self._last_touch.pop(key, None)
-        if resident:
+        with self._mutate_lock:  # never interleaves with a demotion victim
+            if key not in self._sizes:
+                raise KeyError(key)
+            with self._tier_lock:
+                resident = key in self._resident
+                self._resident.discard(key)
+                self._dirty.discard(key)
+                self._dirty_epoch.pop(key, None)
+                self._access.pop(key, None)
+                self._last_touch.pop(key, None)
+            if resident:
+                try:
+                    self.fast.delete(variable, segment)
+                except KeyError:
+                    pass
             try:
-                self.fast.delete(variable, segment)
+                self.slow.delete(variable, segment)
             except KeyError:
-                pass
-        try:
-            self.slow.delete(variable, segment)
-        except KeyError:
-            pass  # write-back key never flushed
-        with self._stats_lock:
-            self._record_delete(variable, segment)
+                pass  # write-back key never flushed
+            with self._stats_lock:
+                self._record_delete(variable, segment)
+
+    def transact(self, puts, deletes=()) -> None:
+        """Apply puts then deletes under one mutation-lock hold.
+
+        Tier bookkeeping stays consistent against concurrent demotions;
+        per-tier WAL atomicity is that of the underlying stores' own
+        operations (the slow tier sees one ``put_many`` record plus one
+        tombstone record per delete).
+        """
+        with self._mutate_lock:
+            super().transact(puts, deletes)
 
     def flush(self) -> int:
         """Push every dirty write-back fragment to the slow tier.
@@ -502,31 +543,59 @@ class TieredStore(FragmentStore):
             return 0
         demoted = 0
         while self.fast.nbytes() > budget:
-            with self._tier_lock:
-                if not self._resident:
-                    break
-                victim = min(
-                    self._resident, key=lambda k: self._last_touch.get(k, 0)
-                )
-                dirty = victim in self._dirty
-            if dirty:
+            # each victim's read-put-delete runs under the mutation lock:
+            # a concurrent write-back put cannot land a newer payload
+            # between the fast-tier read and the fast-tier delete (the
+            # lost-update race the PR-5 tiering pass documented), and a
+            # concurrent delete cannot resurrect via the slow-tier put
+            with self._mutate_lock:
+                with self._tier_lock:
+                    if not self._resident:
+                        break
+                    victim = min(
+                        self._resident, key=lambda k: self._last_touch.get(k, 0)
+                    )
+                    dirty = victim in self._dirty
+                if dirty:
+                    try:
+                        payload = self.fast.get(*victim)
+                    except (KeyError, OSError):
+                        payload = None
+                    if payload is not None:
+                        self.slow.put(victim[0], victim[1], payload)
                 try:
-                    payload = self.fast.get(*victim)
-                except (KeyError, OSError):
-                    payload = None
-                if payload is not None:
-                    self.slow.put(victim[0], victim[1], payload)
-            try:
-                self.fast.delete(*victim)
-            except KeyError:
-                pass
-            with self._tier_lock:
-                self._resident.discard(victim)
-                self._dirty.discard(victim)
-                self._tstats.demotions += 1
-                self._tstats.demoted_bytes += self._sizes.get(victim, 0)
+                    self.fast.delete(*victim)
+                except KeyError:
+                    pass
+                with self._tier_lock:
+                    self._resident.discard(victim)
+                    self._dirty.discard(victim)
+                    self._tstats.demotions += 1
+                    self._tstats.demoted_bytes += self._sizes.get(victim, 0)
             demoted += 1
         return demoted
+
+    # -- durability ------------------------------------------------------------
+
+    def compact(self) -> "CompactionReport":
+        """Compact both tiers; returns the merged reclaim report.
+
+        Dirty write-backs are flushed first (compaction must never run
+        ahead of durability), then each tier compacts itself — on the
+        WAL-backed disk stores that rewrites the index log to live
+        entries and unlinks tombstoned payload files.  Safe concurrent
+        with readers and ingest: each tier's compact holds only that
+        tier's writer lock.
+        """
+        if self.policy == "write-back":
+            self.flush()
+        report = self.fast.compact()
+        report.merge(self.slow.compact())
+        return report
+
+    def durability(self) -> "DurabilityStats":
+        """Merged durability counters of both tiers."""
+        return self.fast.durability().merge(self.slow.durability())
 
     # -- introspection ---------------------------------------------------------
 
@@ -564,20 +633,32 @@ class TieredStore(FragmentStore):
 
 
 class TransferManager:
-    """Background promotion/demotion loop of one :class:`TieredStore`.
+    """Background promotion/demotion/compaction loop of one :class:`TieredStore`.
 
     One cycle (:meth:`run_once`) flushes dirty write-backs, promotes the
-    current hot set in one coalesced slow-tier batch, then demotes down
-    to the byte budget.  :meth:`start` runs cycles on a daemon thread
-    every *interval* seconds; benchmarks and tests call :meth:`run_once`
-    directly so tier movement is deterministic.
+    current hot set in one coalesced slow-tier batch, demotes down to
+    the byte budget, and — when the tiers' tombstoned debt exceeds
+    ``compact_dead_bytes`` — compacts the tier stores to reclaim it.
+    :meth:`start` runs cycles on a daemon thread every *interval*
+    seconds; benchmarks and tests call :meth:`run_once` directly so tier
+    movement is deterministic.
     """
 
-    def __init__(self, store: TieredStore, interval: float = DEFAULT_TRANSFER_INTERVAL):
+    def __init__(
+        self,
+        store: TieredStore,
+        interval: float = DEFAULT_TRANSFER_INTERVAL,
+        compact_dead_bytes: int | None = DEFAULT_COMPACT_DEAD_BYTES,
+    ):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.store = store
         self.interval = float(interval)
+        #: Dead-byte threshold that triggers a background compaction per
+        #: cycle (``None`` disables background compaction entirely).
+        self.compact_dead_bytes = (
+            None if compact_dead_bytes is None else int(compact_dead_bytes)
+        )
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -591,9 +672,20 @@ class TransferManager:
         flushed = self.store.flush()
         promoted = self.store.promote(self.store.promotion_candidates())
         demoted = self.store.demote()
+        reclaimed = 0
+        if (
+            self.compact_dead_bytes is not None
+            and self.store.durability().dead_bytes >= self.compact_dead_bytes
+        ):
+            reclaimed = self.store.compact().reclaimed_bytes
         with self.store._tier_lock:
             self.store._tstats.transfer_cycles += 1
-        return {"flushed": flushed, "promoted": promoted, "demoted": demoted}
+        return {
+            "flushed": flushed,
+            "promoted": promoted,
+            "demoted": demoted,
+            "reclaimed_bytes": reclaimed,
+        }
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):

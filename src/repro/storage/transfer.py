@@ -205,6 +205,24 @@ class LatencyFragmentStore(FragmentStore):
         """Delete from the inner store (metadata-sized; not delayed)."""
         self.inner.delete(variable, segment)
 
+    def transact(self, puts, deletes=()) -> None:
+        """Commit puts+tombstones on the inner store, one write round trip."""
+        batch = self._check_batch(puts)
+        self.inner.transact(batch, deletes)
+        self._charge_write(sum(len(p) for _, _, p in batch))
+        with self._stats_lock:
+            if batch:
+                self.put_round_trips += 1
+                self._count_write(len(batch), sum(len(p) for _, _, p in batch))
+
+    def compact(self):
+        """Delegate compaction to the inner store (not delayed)."""
+        return self.inner.compact()
+
+    def durability(self):
+        """Durability counters of the inner store."""
+        return self.inner.durability()
+
     def get(self, variable: str, segment: str) -> bytes:
         """Read one fragment, charging one latency + bandwidth sleep."""
         payload = self.inner.get(variable, segment)

@@ -1,0 +1,217 @@
+"""Concurrency stress: writers, readers, and compaction sharing a store.
+
+The WAL's locking discipline promises that concurrent mutators never
+lose a committed put, readers never observe torn bytes, and compaction
+can run *while* ingest and retrieval are in flight without disturbing
+either.  These tests hammer those promises with real threads:
+
+* batched writers + deleters + a compaction loop on both disk layouts,
+  with the final state (and a full reopen) checked bit-for-bit against
+  the model;
+* a live streaming ingest racing retrieval and compaction through a
+  :class:`RetrievalService`;
+* the tiered write-back demotion race from the transfer manager
+  (demote's read-put-delete vs a concurrent overwrite) — a lost update
+  here silently serves stale bytes, which is exactly what the
+  ``_mutate_lock`` serialization exists to prevent.
+
+Failures here are race conditions: rerun counts are kept high enough
+to make the windows real but runtimes stay a few seconds per test.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.qois import qoi_from_spec
+from repro.core.retrieval import QoIRequest
+from repro.service.service import RetrievalService
+from repro.storage.store import DiskFragmentStore, ShardedDiskStore
+from repro.storage.tiered import TieredStore
+
+LAYOUTS = [
+    ("flat", DiskFragmentStore),
+    ("sharded", lambda root: ShardedDiskStore(root, fanout=8)),
+]
+
+
+def _run_threads(workers) -> None:
+    """Start, join, and re-raise the first failure of worker callables."""
+    failures = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # propagate to the test thread
+                failures.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+        assert not t.is_alive(), "worker deadlocked"
+    if failures:
+        raise failures[0]
+
+
+class TestConcurrentStoreMutation:
+    @pytest.mark.parametrize("layout,make", LAYOUTS)
+    def test_no_lost_puts_under_writers_deleters_and_compaction(
+        self, tmp_path, layout, make
+    ):
+        """Every committed put survives; deletes and compaction interleave."""
+        root = str(tmp_path / "ar")
+        store = make(root)
+        writers, rounds, kept = 4, 12, 8
+
+        def writer(w):
+            def run():
+                for r in range(rounds):
+                    # each round: a batch of this writer's keys, then
+                    # delete the older generation beyond the keep window
+                    batch = [
+                        (f"w{w}", f"s{r}_{i}", bytes([w, r, i]) * (i + 1))
+                        for i in range(3)
+                    ]
+                    store.put_many(batch)
+                    if r >= kept:
+                        for i in range(3):
+                            store.delete(f"w{w}", f"s{r - kept}_{i}")
+
+            return run
+
+        def reader():
+            for _ in range(60):
+                for key in store.keys()[:20]:
+                    try:
+                        payload = store.get(*key)
+                    except KeyError:
+                        continue  # deleted between keys() and get()
+                    # committed payloads are never torn: the byte
+                    # pattern encodes its own key
+                    if key[0].startswith("w") and payload:
+                        w, r, i = payload[0], payload[1], payload[2]
+                        assert key == (f"w{w}", f"s{r}_{i}"), "torn read"
+
+        def compactor():
+            for _ in range(10):
+                store.compact()
+
+        _run_threads([writer(w) for w in range(writers)] + [reader, compactor])
+
+        expected = {}
+        for w in range(writers):
+            for r in range(rounds - kept, rounds):
+                for i in range(3):
+                    expected[(f"w{w}", f"s{r}_{i}")] = bytes([w, r, i]) * (i + 1)
+        got = {key: store.get(*key) for key in store.keys()}
+        assert got == expected, f"{layout}: lost or torn puts"
+
+        # a reopened handle recovers the identical state, and a final
+        # compaction reclaims every tombstoned byte
+        store.close()
+        reopened = make(root)
+        assert {k: reopened.get(*k) for k in reopened.keys()} == expected
+        reopened.compact()
+        assert reopened.durability().dead_bytes == 0
+        reopened.close()
+
+
+class TestConcurrentServiceIngest:
+    def test_ingest_retrieval_and_compaction_share_one_service(self, tmp_path):
+        """Live ingest + QoI retrieval + compaction, zero cross-talk."""
+        rng = np.random.default_rng(7)
+        base = {f"v{k}": rng.standard_normal((8, 8, 8)) for k in range(2)}
+        service = RetrievalService.open(str(tmp_path / "ar"))
+        service.ingest(base)
+
+        def ingester():
+            for step in range(4):
+                service.ingest(
+                    {"live": rng.standard_normal((8, 8, 8))}, timestep=step
+                )
+
+        def retriever():
+            for _ in range(4):
+                with service.open_session() as session:
+                    result = session.retrieve(
+                        [
+                            QoIRequest(
+                                "identity",
+                                qoi_from_spec("identity", ["v0"]),
+                                5e-3,
+                                float(np.ptp(base["v0"])),
+                            )
+                        ]
+                    )
+                    assert result.all_satisfied
+
+        def compactor():
+            for _ in range(6):
+                service.compact()
+
+        _run_threads([ingester, retriever, compactor])
+
+        stats = service.stats()
+        assert stats.durability.compactions >= 6
+        # every ingested timestep is whole and loadable afterwards
+        for step in range(4):
+            service.load_refactored(f"live@t{step:04d}", lazy=False)
+        service.close()
+
+
+class TestTieredWriteBackRace:
+    def test_demotion_never_loses_a_concurrent_overwrite(self, tmp_path):
+        """The PR-5 write-back race: demote vs overwrite of the same key.
+
+        With a tiny fast budget every transfer cycle demotes victims via
+        read → slow.put → fast.delete.  An overwrite landing between
+        those steps must win: afterwards every key serves its *latest*
+        payload.  Without the mutation lock this test loses updates
+        within a few cycles.
+        """
+        store = TieredStore(
+            DiskFragmentStore(str(tmp_path / "fast")),
+            ShardedDiskStore(str(tmp_path / "slow"), fanout=8),
+            fast_budget_bytes=512,
+            policy="write-back",
+        )
+        keys = [("v", f"s{i}") for i in range(8)]
+        stop = threading.Event()
+        versions = {key: 0 for key in keys}
+
+        def writer():
+            for version in range(1, 40):
+                for i, key in enumerate(keys):
+                    store.put(*key, bytes([i, version % 251]) * 40)
+                    versions[key] = version
+
+        def demoter():
+            while not stop.is_set():
+                store.transfer.run_once()
+
+        threads = [threading.Thread(target=writer)]
+        demote_thread = threading.Thread(target=demoter)
+        threads[0].start()
+        demote_thread.start()
+        threads[0].join(timeout=60)
+        stop.set()
+        demote_thread.join(timeout=60)
+        assert not demote_thread.is_alive()
+
+        for i, key in enumerate(keys):
+            expected = bytes([i, versions[key] % 251]) * 40
+            assert store.get(*key) == expected, f"lost update on {key}"
+        store.flush()
+        store.close()
+
+        # the durable slow tier holds the final versions too
+        slow = ShardedDiskStore(str(tmp_path / "slow"), fanout=8)
+        for i, key in enumerate(keys):
+            assert slow.get(*key) == bytes([i, versions[key] % 251]) * 40
+        slow.close()

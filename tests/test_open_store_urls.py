@@ -111,6 +111,147 @@ def test_deletions_survive_reopen(tmp_path_factory, fragments, data):
         reopened.close()
 
 
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(fragments=_fragments, data=st.data())
+def test_compaction_roundtrip_every_scheme(tmp_path_factory, fragments, data):
+    """delete → compact → reopen: identical survivors, dead bytes reclaimed.
+
+    On every persistent scheme, tombstoned fragments leave dead bytes
+    that ``compact()`` reclaims (log rewritten, files unlinked), and the
+    compacted store reopens bit-identical to its pre-compaction live
+    state — compaction is invisible to readers.
+    """
+    tmp_path = tmp_path_factory.mktemp("urls-compact")
+    doomed = data.draw(
+        st.lists(st.sampled_from(sorted(fragments)), unique=True, min_size=1)
+    )
+    survivors = {k: v for k, v in fragments.items() if k not in doomed}
+    for name, url in _url_builders(tmp_path):
+        # write-through tiering keeps every fragment (and tombstone) on
+        # both tiers, so its counters report two copies per key
+        copies = 2 if name == "tiered" else 1
+        store = open_store(url)
+        store.put_many([(v, s, p) for (v, s), p in fragments.items()])
+        for var, seg in doomed:
+            store.delete(var, seg)
+        dead = store.durability().dead_bytes
+        assert dead == copies * sum(len(fragments[k]) for k in doomed), name
+
+        report = store.compact()
+        assert report.reclaimed_bytes == dead, name
+        assert report.removed_files == copies * len(doomed), name
+        assert store.durability().dead_bytes == 0, name
+        got = {k: store.get(*k) for k in store.keys()}
+        assert got == survivors, f"{name}: compaction disturbed live data"
+        store.close()
+
+        reopened = open_store(url)
+        _assert_same_index(reopened, survivors, f"{name}: {url}")
+        if survivors:
+            assert reopened.get_many(list(survivors)) == survivors, name
+        reopened.close()
+
+
+class TestDurabilityOverURLSchemes:
+    def test_fsync_url_param_round_trips(self, tmp_path):
+        """``?fsync=`` is honored by file://, sharded://, and tiered://."""
+        urls = [
+            f"file://{tmp_path / 'f'}?fsync=off",
+            f"sharded://{tmp_path / 's'}?fanout=4&fsync=always",
+            (
+                f"tiered://{tmp_path / 'tf'}?fsync=off"
+                f"&slow=sharded://{tmp_path / 'ts'}"
+            ),
+        ]
+        for url in urls:
+            store = open_store(url)
+            store.put("v", "s0", b"payload")
+            store.close()
+            reopened = open_store(url)
+            assert reopened.get("v", "s0") == b"payload", url
+            reopened.close()
+
+    def test_fsync_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            open_store(f"file://{tmp_path / 'f'}?fsync=sometimes")
+
+    def test_http_delete_and_server_side_compaction(self, tmp_path):
+        """Tombstones and compaction work through the HTTP scheme."""
+        disk = ShardedDiskStore(str(tmp_path / "ar"), fanout=4)
+        with HTTPFragmentServer(disk) as server:
+            client = open_store(server.url)
+            client.put_many([("v", f"s{i}", bytes([i]) * 8) for i in range(4)])
+            client.delete("v", "s0")
+            client.delete("v", "s1")
+            with pytest.raises(KeyError):
+                client.get("v", "s0")
+            assert client.durability().dead_bytes == 16
+            report = client.compact()  # runs on the server's store
+            assert report.reclaimed_bytes == 16
+            assert report.removed_files == 2
+            assert client.durability().dead_bytes == 0
+            client.close()
+        # deletions and compaction landed in the disk store underneath
+        reopened = ShardedDiskStore(str(tmp_path / "ar"), fanout=4)
+        assert set(reopened.keys()) == {("v", "s2"), ("v", "s3")}
+        reopened.close()
+
+    def test_tiered_compact_dead_url_param(self, tmp_path):
+        """``?compact_dead=`` arms background compaction per cycle."""
+        url = (
+            f"tiered://{tmp_path / 'fast'}?compact_dead=1"
+            f"&slow=file://{tmp_path / 'slow'}"
+        )
+        store = open_store(url)
+        assert store.transfer.compact_dead_bytes == 1
+        store.put("v", "s0", b"x" * 64)
+        store.put("v", "s1", b"y" * 64)
+        store.delete("v", "s0")
+        assert store.durability().dead_bytes > 0
+        cycle = store.transfer.run_once()
+        assert cycle["reclaimed_bytes"] > 0
+        assert store.durability().dead_bytes == 0
+        store.close()
+
+    def test_tiered_compact_dead_zero_disables(self, tmp_path):
+        url = (
+            f"tiered://{tmp_path / 'fast'}?compact_dead=0"
+            f"&slow=file://{tmp_path / 'slow'}"
+        )
+        store = open_store(url)
+        assert store.transfer.compact_dead_bytes is None
+        store.put("v", "s0", b"x" * 64)
+        store.delete("v", "s0")
+        cycle = store.transfer.run_once()
+        assert cycle["reclaimed_bytes"] == 0
+        assert store.durability().dead_bytes > 0  # left for explicit compact()
+        store.close()
+
+    def test_snapshot_between_schemes(self, tmp_path):
+        """snapshot/restore copy verbatim across any two URL schemes."""
+        from repro.storage.snapshot import restore_store, snapshot_store
+
+        src_url = f"file://{tmp_path / 'src'}"
+        dst_url = f"sharded://{tmp_path / 'dst'}?fanout=4"
+        src = open_store(src_url)
+        fragments = {("v", f"s{i}"): bytes([i]) * (i + 1) for i in range(6)}
+        src.put_many([(v, s, p) for (v, s), p in fragments.items()])
+        src.close()
+
+        report = snapshot_store(src_url, dst_url)
+        assert report.fragments == 6 and not report.mismatched
+        dst = open_store(dst_url)
+        assert dst.get_many(list(fragments)) == fragments
+        dst.put("extra", "junk", b"zzz")  # diverge the destination
+        dst.close()
+
+        report = restore_store(src_url, dst_url)
+        assert report.deleted == 1
+        dst = open_store(dst_url)
+        assert set(dst.keys()) == set(fragments)
+        dst.close()
+
+
 class TestLayoutAutoDetection:
     def test_plain_path_reopens_sharded_layout(self, tmp_path):
         url = f"sharded://{tmp_path / 'ar'}?fanout=4"
