@@ -28,6 +28,11 @@ QoI-preserved retrieval loop against the archive — lazily loaded and
 driven by the pipelined engine (``--pipeline-depth`` /
 ``--fetch-workers`` tune it, ``--serial`` disables it) — and writes the
 reconstructed variables plus a JSON report of the guaranteed errors.
+``retrieve``, ``serve``, and ``ingest`` all take ``--executor
+serial|thread|process`` (and ``retrieve``/``serve`` ``--workers N``) to
+run the decode/encode kernels on the pluggable kernel executor; the
+process backend reads fragment payloads zero-copy out of shared-memory
+arena slabs (see docs/architecture.md).
 ``serve`` exposes the archive to many concurrent clients over TCP behind
 a shared fragment cache (``--metrics-port`` adds the HTTP operability
 sidecar serving Prometheus ``/metrics`` and a JSON ``/health`` probe);
@@ -153,6 +158,7 @@ def _cmd_ingest(args) -> int:
         workers=args.workers,
         flush_bytes=parse_bytes(args.flush_bytes),
         timestep=args.timestep,
+        executor=args.executor,
     )
     update_manifest(
         manifest, store, variables, args.method, report, timestep=args.timestep
@@ -193,6 +199,18 @@ def _cmd_retrieve(args) -> int:
     missing = [f for f in fields if f not in manifest.variables]
     if missing:
         raise SystemExit(f"fields not in archive: {missing}")
+    from repro.parallel.executor import make_executor
+
+    executor = make_executor(args.executor, workers=args.workers)
+    arena = getattr(executor, "arena", None)
+    if arena is not None:
+        # route fragments through an arena-backed cache so decode
+        # workers read payloads in place (the zero-copy path)
+        from repro.storage.cache import CachingFragmentStore, FragmentCache
+
+        store = CachingFragmentStore(
+            store, FragmentCache(DEFAULT_CACHE_BYTES, arena=arena)
+        )
     archive = Archive(store)
     lazy = not args.serial
     refactored = {name: archive.load(name, lazy=lazy) for name in fields}
@@ -201,6 +219,7 @@ def _cmd_retrieve(args) -> int:
         manifest.value_ranges(),
         pipeline_depth=args.pipeline_depth,
         max_workers=args.fetch_workers,
+        executor=executor,
     )
     request = QoIRequest(args.qoi, qoi, args.tolerance, args.qoi_range)
     result = retriever.retrieve([request])
@@ -304,6 +323,20 @@ def _cmd_stats(args) -> int:
     print(f"  resident: {cache['current_bytes']} / {cache['capacity_bytes']} B; "
           f"served {cache['bytes_from_cache']} B from cache, "
           f"{cache['bytes_from_store']} B from store")
+    total = stats.get("io_wait_seconds", 0.0) + stats.get("compute_seconds", 0.0)
+    if total > 0:
+        print(f"retrieval wall time: {stats['compute_seconds']:.3f}s compute / "
+              f"{stats['io_wait_seconds']:.3f}s I/O wait "
+              f"({100.0 * stats['compute_seconds'] / total:.1f}% compute) "
+              f"over {stats['retrieval_rounds']} round(s)")
+    executor = stats.get("executor")
+    if executor:
+        print(f"executor: {executor['backend']} x{executor['workers']} worker(s), "
+              f"{executor['tasks']} task(s), {executor['fallbacks']} inline fallback(s)")
+    slab_entries = cache.get("slab_entries", 0)
+    if slab_entries:
+        print(f"  arena: {slab_entries} slab entrie(s), "
+              f"{cache['slab_resident_bytes']} B resident in shared memory")
     if stats.get("tiers"):
         _print_tier_stats(stats["tiers"])
     if stats.get("durability"):
@@ -317,6 +350,8 @@ def _cmd_serve(args) -> int:
         cache_bytes=int(args.cache_mb) << 20,
         pipeline_depth=args.pipeline_depth,
         max_workers=args.fetch_workers,
+        executor=args.executor,
+        workers=args.workers,
     )
     server = RetrievalServer(service, args.host, args.port)
     host, port = server.address
@@ -483,6 +518,10 @@ def make_parser() -> argparse.ArgumentParser:
                                "(binary suffixes allowed, e.g. 4M)")
     p_ingest.add_argument("--timestep", type=int, default=None,
                           help="append variables as NAME@tNNNN timestep keys")
+    p_ingest.add_argument("--executor", default=None,
+                          choices=["serial", "thread", "process"],
+                          help="kernel executor for the transform+encode stage "
+                               "(default: REPRO_EXECUTOR env, else thread pool)")
     p_ingest.set_defaults(func=_cmd_ingest)
 
     p_info = sub.add_parser("info", help="list archived variables")
@@ -506,6 +545,13 @@ def make_parser() -> argparse.ArgumentParser:
                        help="fetch-stage threads (0 fetches synchronously)")
     p_ret.add_argument("--serial", action="store_true",
                        help="eager per-fragment loading (the pre-pipeline behavior)")
+    p_ret.add_argument("--executor", default=None,
+                       choices=["serial", "thread", "process"],
+                       help="kernel executor for decode kernels; process reads "
+                            "fragments zero-copy from shared-memory slabs "
+                            "(default: REPRO_EXECUTOR env, else inline)")
+    p_ret.add_argument("--workers", type=int, default=None,
+                       help="kernel-executor worker count (default: CPU count)")
     p_ret.set_defaults(func=_cmd_retrieve)
 
     p_serve = sub.add_parser(
@@ -526,6 +572,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-port", type=int, default=None,
                          help="also serve HTTP /metrics (Prometheus) and "
                               "/health on this port (0 picks one)")
+    p_serve.add_argument("--executor", default=None,
+                         choices=["serial", "thread", "process"],
+                         help="kernel executor every client session decodes "
+                              "through (default: REPRO_EXECUTOR env, else inline)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="kernel-executor worker count (default: CPU count)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(

@@ -226,14 +226,27 @@ class PMGARDReader(ProgressiveReader):
                 )
         return segments
 
+    def use_executor(self, executor) -> None:
+        """Run plane decode through *executor* (bit-identical to inline)."""
+        for dec in self._decoders:
+            dec.use_executor(executor)
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         self._fetch_coarse()
         self._requested = True
         decs = self._decoders
         if decs:
-            for l, k in enumerate(self._plan(eb)):
-                fetched = decs[l].advance_to(k)
+            # two-phase across levels: submit every level's plane chunks
+            # before collecting any, so an executor's workers decode all
+            # levels concurrently (inline decoders complete in "begin")
+            pending = [
+                (l, decs[l].begin_advance(k)) for l, k in enumerate(self._plan(eb))
+            ]
+            for l, token in pending:
+                if token is None:
+                    continue
+                fetched = decs[l].finish_advance(token)
                 if fetched:
                     self._dirty = True
                     self._bytes += fetched

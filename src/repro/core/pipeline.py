@@ -91,6 +91,28 @@ class FetchPipeline:
         self._closed = False
         #: Fragments fetched ahead of decode (accounting for benchmarks).
         self.fragments_prefetched = 0
+        #: Wall seconds the decode stage spent *waiting* on fetches.
+        self.io_wait_seconds = 0.0
+        #: Wall seconds the decode stage spent computing (decode+reconstruct).
+        self.compute_seconds = 0.0
+        #: Per-round ``{"io_wait_s", "compute_s"}`` breakdown, in round order.
+        self.round_breakdown: list = []
+
+    def record_round(self, io_wait_s: float, compute_s: float) -> None:
+        """Record one round's compute-vs-I/O wall-time split.
+
+        Called by the retrieval loop after each round: *io_wait_s* is the
+        time the loop blocked on the fetch iterator (submission plus
+        waiting for ``get_many`` batches to land), *compute_s* the time
+        spent in reader decode.  This is what makes "retrieval is
+        compute-bound" a measured fact in ``repro stats`` rather than an
+        inference from speedup parity.
+        """
+        self.io_wait_seconds += float(io_wait_s)
+        self.compute_seconds += float(compute_s)
+        self.round_breakdown.append(
+            {"io_wait_s": float(io_wait_s), "compute_s": float(compute_s)}
+        )
 
     # -- round fetches --------------------------------------------------------
 

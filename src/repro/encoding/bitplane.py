@@ -48,6 +48,13 @@ _PROBE_BYTES = 65536
 _PROBE_RATIO = 0.97
 
 
+def _offload_min_elements() -> int:
+    """Executor offload floor (lazy import dodges the package cycle)."""
+    from repro.parallel.executor import OFFLOAD_MIN_ELEMENTS
+
+    return OFFLOAD_MIN_ELEMENTS
+
+
 def _compress_segment(backend, raw: bytes) -> bytes:
     """Frame *raw* as a segment: compressed when the backend earns its keep."""
     comp = None
@@ -190,6 +197,17 @@ class BitplaneEncoder:
         return BitplaneStream(shape, e, P, sign_segment, planes)
 
 
+class _PendingAdvance:
+    """In-flight :meth:`BitplaneDecoder.begin_advance` state."""
+
+    __slots__ = ("fetched", "target", "chunks")
+
+    def __init__(self, fetched, target, chunks):
+        self.fetched = fetched
+        self.target = target
+        self.chunks = chunks  # [(KernelTask, [plane, ...])]; empty = done inline
+
+
 class BitplaneDecoder:
     """Stateful progressive decoder for one :class:`BitplaneStream`.
 
@@ -198,11 +216,21 @@ class BitplaneDecoder:
     property required by Definition 1 of the paper).  Magnitudes are
     held as a big-endian byte matrix so newly fetched planes merge via
     :func:`repro.utils.bits.accumulate_bitplanes` in a few vector passes.
+
+    With an *executor* (see :mod:`repro.parallel.executor`) the per-plane
+    decompress-and-accumulate runs as parallel kernel tasks: workers each
+    build a partial magnitude matrix for a chunk of planes, and the
+    partials OR together here — bit-identical to the serial path because
+    every plane occupies a disjoint bit.  The two-phase
+    :meth:`begin_advance`/:meth:`finish_advance` split lets a reader
+    submit all levels' chunks before collecting any, keeping every worker
+    busy across levels.
     """
 
     def __init__(self, stream: BitplaneStream, backend: str = "zlib"):
         self.stream = stream
         self.backend = get_backend(backend)
+        self.executor = None
         self.planes_consumed = 0
         self._width = element_byte_width(stream.num_planes)
         self._mag_bytes = np.zeros((stream.size, self._width), dtype=np.uint8)
@@ -213,26 +241,93 @@ class BitplaneDecoder:
         """Accumulated fixed-point magnitudes (big-endian view, no copy)."""
         return self._mag_bytes.view(f">u{self._width}").ravel()
 
+    def use_executor(self, executor) -> None:
+        """Route future plane decodes through *executor* (None = inline)."""
+        self.executor = executor
+
     def advance_to(self, planes: int) -> int:
         """Consume planes up to *planes*; returns bytes newly fetched."""
+        pending = self.begin_advance(planes)
+        if pending is None:
+            return 0
+        return self.finish_advance(pending)
+
+    def begin_advance(self, planes: int):
+        """Start consuming planes up to *planes*; None when nothing new.
+
+        Without an executor (or for small groups, where task overhead
+        dominates) the planes are decoded here and the returned token is
+        already complete; otherwise plane chunks are submitted as kernel
+        tasks carrying zero-copy payload handles where the stream offers
+        them.  Pass the token to :meth:`finish_advance` to merge.
+        """
         stream = self.stream
         target = min(int(planes), stream.num_planes)
         if stream.exponent is None or target <= self.planes_consumed:
-            return 0
+            return None
         fetched = stream.segment_bytes(self.planes_consumed, target)
         backend = self.backend
         if self._signs is None:
             raw = _decompress_segment(backend, stream.sign_segment)
             bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
             self._signs = bits[: stream.size].astype(bool)
+        start = self.planes_consumed
+        executor = self.executor
+        if executor is not None and stream.size >= _offload_min_elements():
+            span = list(range(start, target))
+            per_task = -(-len(span) // max(1, executor.workers))
+            chunks = []
+            for i in range(0, len(span), per_task):
+                chunk = span[i : i + per_task]
+                items = [(p, self._plane_payload(p)) for p in chunk]
+                task = executor.submit(
+                    "bitplane_accumulate",
+                    items,
+                    stream.num_planes,
+                    stream.size,
+                    backend.name,
+                )
+                chunks.append((task, chunk))
+            return _PendingAdvance(fetched, target, chunks)
+        self._accumulate_inline(range(start, target))
+        self.planes_consumed = target
+        return _PendingAdvance(fetched, target, [])
+
+    def finish_advance(self, pending) -> int:
+        """Merge a :meth:`begin_advance` token; returns bytes newly fetched."""
+        if pending.chunks:
+            from repro.parallel.executor import ArenaLookupError, merge_magnitude_bytes
+
+            for task, chunk in pending.chunks:
+                try:
+                    payload = task.result()
+                except ArenaLookupError:
+                    # the cache evicted a handled payload between fetch and
+                    # decode: re-read through the stream (one extra store
+                    # round trip, never a wrong answer) and decode inline
+                    self._accumulate_inline(chunk)
+                    continue
+                merge_magnitude_bytes(self._mag_bytes, payload)
+            self.planes_consumed = max(self.planes_consumed, pending.target)
+        return pending.fetched
+
+    def _accumulate_inline(self, planes) -> None:
+        stream = self.stream
         nb = (stream.size + 7) // 8
         rows = []
-        for p in range(self.planes_consumed, target):
-            raw = _decompress_segment(backend, stream.plane_segments[p])
+        for p in planes:
+            raw = _decompress_segment(self.backend, stream.plane_segments[p])
             rows.append((p, np.frombuffer(raw, dtype=np.uint8, count=nb)))
         accumulate_bitplanes(rows, stream.num_planes, self._mag_bytes)
-        self.planes_consumed = target
-        return fetched
+
+    def _plane_payload(self, plane: int):
+        """Best payload argument for a kernel: handle if available, else bytes."""
+        probe = getattr(self.stream, "plane_handle", None)
+        if probe is not None:
+            handle = probe(plane)
+            if handle is not None:
+                return handle
+        return self.stream.plane_segments[plane]
 
     def reconstruct(self) -> np.ndarray:
         """Current best reconstruction of the coefficient group."""

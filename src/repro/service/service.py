@@ -63,7 +63,13 @@ class ServiceStats:
     (live ingestion through :meth:`RetrievalService.ingest`).
     ``durability`` carries the backing store's WAL/compaction counters
     (:class:`~repro.storage.wal.DurabilityStats`; all zeros on backends
-    without a commit log).
+    without a commit log).  ``io_wait_seconds`` / ``compute_seconds`` /
+    ``retrieval_rounds`` aggregate the per-round compute-vs-I/O
+    wall-time split every client retrieval records (see
+    :meth:`~repro.core.pipeline.FetchPipeline.record_round`), and
+    ``executor`` carries the kernel executor's task/fallback counters
+    (:class:`~repro.parallel.executor.ExecutorStats`) when the service
+    runs one.
     """
 
     sessions_opened: int
@@ -79,6 +85,10 @@ class ServiceStats:
     store_put_round_trips: int = 0
     variables_ingested: int = 0
     durability: DurabilityStats | None = None
+    io_wait_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    retrieval_rounds: int = 0
+    executor: "ExecutorStats | None" = None
 
 
 class RetrievalService:
@@ -110,6 +120,14 @@ class RetrievalService:
         costs one small store round trip and fragments move only when a
         client's retrieval plan demands them.  Set False to restore the
         eager fetch-everything-at-load behavior.
+    executor / workers:
+        Kernel executor every client session decodes through — an
+        instance, a backend name (``"serial"``/``"thread"``/
+        ``"process"``), or None to follow the ``REPRO_EXECUTOR``
+        environment default.  With the process backend the service's
+        fragment cache is arena-backed: payloads land in shared-memory
+        slabs on fetch and decode workers read them in place, so cross-
+        client cache hits *and* kernel inputs are zero-copy.
     """
 
     def __init__(
@@ -123,9 +141,17 @@ class RetrievalService:
         pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         max_workers: int = DEFAULT_MAX_WORKERS,
         lazy_loading: bool = True,
+        executor=None,
+        workers: int | None = None,
     ):
+        from repro.parallel.executor import make_executor
+
         self._inner = store
-        self.cache = cache if cache is not None else FragmentCache(cache_bytes)
+        self.executor = make_executor(executor, workers=workers)
+        arena = getattr(self.executor, "arena", None)
+        self.cache = (
+            cache if cache is not None else FragmentCache(cache_bytes, arena=arena)
+        )
         self.store = CachingFragmentStore(store, self.cache)
         self.archive = Archive(self.store)
         self.reduction_factor = float(reduction_factor)
@@ -148,6 +174,9 @@ class RetrievalService:
         self._sessions_active = 0
         self._variables_loaded = 0
         self._variables_ingested = 0
+        self._io_wait_seconds = 0.0
+        self._compute_seconds = 0.0
+        self._retrieval_rounds = 0
 
     @classmethod
     def open(
@@ -254,7 +283,7 @@ class RetrievalService:
         )
         refactorer = make_refactorer(method)
         with self._ingest_lock:
-            report = IngestPipeline(self.store, config).ingest(
+            report = IngestPipeline(self.store, config, executor=self.executor).ingest(
                 variables, refactorer, timestep=timestep
             )
             with self._lock:
@@ -296,6 +325,13 @@ class RetrievalService:
         with self._lock:
             self._sessions_active -= 1
 
+    def _record_retrieval(self, result) -> None:
+        """Fold one client retrieval's wall-time split into the counters."""
+        with self._lock:
+            self._io_wait_seconds += result.stopwatch.get("fetch")
+            self._compute_seconds += result.stopwatch.get("decode")
+            self._retrieval_rounds += result.rounds
+
     def compact(self) -> CompactionReport:
         """Compact the backing store's commit log, reclaiming dead bytes.
 
@@ -308,7 +344,12 @@ class RetrievalService:
         return self._inner.compact()
 
     def close(self) -> None:
-        """Close the backing store (flushes and stops a tiered backend)."""
+        """Close the backing store (flushes and stops a tiered backend).
+
+        The kernel executor is *not* closed here: string-spec executors
+        are process-wide shared instances (released atexit), and an
+        instance passed in belongs to its caller.
+        """
         self._inner.close()
 
     def stats(self) -> ServiceStats:
@@ -331,6 +372,12 @@ class RetrievalService:
                 store_put_round_trips=self._inner.put_round_trips,
                 variables_ingested=self._variables_ingested,
                 durability=self._inner.durability(),
+                io_wait_seconds=self._io_wait_seconds,
+                compute_seconds=self._compute_seconds,
+                retrieval_rounds=self._retrieval_rounds,
+                executor=(
+                    self.executor.stats() if self.executor is not None else None
+                ),
             )
 
 
@@ -354,6 +401,7 @@ class ClientSession:
             reduction_factor=service.reduction_factor,
             pipeline_depth=service.pipeline.pipeline_depth,
             max_workers=service.pipeline.max_workers,
+            executor=service.executor,
         )
         self._session = RetrievalSession(self._retriever)
         self._generations: dict = {}  # variable -> generation loaded at
@@ -388,7 +436,9 @@ class ClientSession:
         if not requests:
             raise ValueError("at least one QoIRequest is required")
         self._ensure_variables(requests)
-        return self._session.retrieve(requests, max_rounds=max_rounds)
+        result = self._session.retrieve(requests, max_rounds=max_rounds)
+        self._service._record_retrieval(result)
+        return result
 
     def bytes_retrieved(self, variable: str | None = None) -> int:
         """Cumulative bytes this client's readers have consumed."""

@@ -117,6 +117,24 @@ class FragmentSource:
             return len(payload)
         return self.store.size_of(self.variable, segment)
 
+    def handle(self, segment: str):
+        """Zero-copy payload handle for *segment*, or None (no store I/O).
+
+        Returns the memoized payload when this source retains payloads,
+        or an :class:`~repro.parallel.executor.ArenaRef` when the backing
+        caching store has the fragment slab-resident — the handle a
+        process-backend decode worker can resolve without the bytes ever
+        crossing a pipe.  None means the caller must :meth:`get`.
+        """
+        with self._lock:
+            payload = self._payloads.get(segment)
+        if payload is not None:
+            return payload
+        probe = getattr(self.store, "fragment_handle", None)
+        if probe is not None:
+            return probe(self.variable, segment)
+        return None
+
     def absorb(self, payloads: dict) -> None:
         """Merge ``{segment: payload}`` results of a batched fetch."""
         with self._arrived:
@@ -248,6 +266,10 @@ class _LazyBitplaneStream(BitplaneStream):
             total += len(self.sign_segment)
         return total
 
+    def plane_handle(self, plane: int):
+        """Zero-copy handle for one plane payload (see FragmentSource.handle)."""
+        return self._source.handle(pmgard_plane_segment(self._level, plane))
+
 
 class _LazyBlob:
     """Duck-typed :class:`SZ3Blob` whose payload fetches on first access."""
@@ -263,6 +285,10 @@ class _LazyBlob:
     @property
     def nbytes(self) -> int:
         return self._source.size_of(self._segment)
+
+    def handle(self):
+        """Zero-copy payload handle, or None (see FragmentSource.handle)."""
+        return self._source.handle(self._segment)
 
 
 def _snapshot_fragments(refactored, kind) -> tuple:
@@ -438,7 +464,9 @@ class Archive:
         object carries that source as ``fragment_source`` so the
         retrieval engine can batch-prefetch planned fragments.
         """
-        index = json.loads(self.store.get(variable, INDEX_SEGMENT).decode())
+        # bytes() is a no-op for raw stores and materializes the (small)
+        # index when an arena-backed cache serves it as a memoryview
+        index = json.loads(bytes(self.store.get(variable, INDEX_SEGMENT)).decode())
         kind = index["kind"]
         if kind == "pmgard":
             return self._load_pmgard(variable, index, lazy)

@@ -96,4 +96,6 @@ class DatasetManifest:
     @classmethod
     def load_from(cls, store) -> "DatasetManifest":
         """Load the manifest archived in *store*; KeyError when absent."""
-        return cls.from_json(store.get(MANIFEST_VARIABLE, MANIFEST_SEGMENT).decode())
+        # bytes() materializes the manifest when an arena-backed cache
+        # serves it as a memoryview; a no-op for raw stores
+        return cls.from_json(bytes(store.get(MANIFEST_VARIABLE, MANIFEST_SEGMENT)).decode())

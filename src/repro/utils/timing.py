@@ -37,6 +37,15 @@ class Stopwatch:
             elapsed = time.perf_counter() - start
             self.sections[name] = self.sections.get(name, 0.0) + elapsed
 
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate externally measured *seconds* into section *name*.
+
+        For callers that interleave two sections inside one loop (e.g.
+        fetch waits vs. decode compute) and cannot nest the
+        :meth:`section` context managers cleanly.
+        """
+        self.sections[name] = self.sections.get(name, 0.0) + float(seconds)
+
     def total(self) -> float:
         """Sum of all recorded sections, in seconds."""
         return float(sum(self.sections.values()))

@@ -1,0 +1,429 @@
+"""Kernel executor, shared-memory arena, and zero-copy path tests.
+
+Three guarantees are pinned here:
+
+* **Bit-exactness** — every backend (serial/thread/process) produces
+  output identical to the scalar references in
+  :mod:`repro.encoding.reference`, including the classic bit-twiddling
+  edge cases: all-zero planes, single-symbol alphabets, and inputs deep
+  enough to trigger the 16-bit Huffman length limiter.
+* **Zero-copy** — a payload written into a slab on fetch is read in
+  place by the cache (memoryview), the handle chain, and the worker
+  process: ``bytes_written`` never exceeds one copy of the payload and
+  the served view aliases the slab buffer.
+* **Fault tolerance** — a killed worker degrades the executor to inline
+  execution without hanging, losing a task, or changing any result.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.bitplane import BitplaneDecoder, BitplaneEncoder
+from repro.encoding.reference import (
+    ReferenceBitplaneDecoder,
+    reference_bitplane_encode,
+    reference_huffman_decode,
+    reference_huffman_encode,
+)
+from repro.parallel.executor import (
+    ArenaLookupError,
+    ArenaRef,
+    ProcessKernelExecutor,
+    SerialKernelExecutor,
+    SlabArena,
+    ThreadKernelExecutor,
+    as_completed_tasks,
+    make_executor,
+    merge_magnitude_bytes,
+)
+from repro.storage.cache import CachingFragmentStore, FragmentCache
+
+
+@pytest.fixture(scope="module", params=["serial", "thread", "process"])
+def executor(request):
+    made = {
+        "serial": lambda: SerialKernelExecutor(),
+        "thread": lambda: ThreadKernelExecutor(workers=2),
+        "process": lambda: ProcessKernelExecutor(workers=2),
+    }[request.param]()
+    if request.param == "process" and made.broken:
+        made.close()
+        pytest.skip("no process pool available on this platform")
+    yield made
+    made.close()
+
+
+# ---------------------------------------------------------------------------
+# SlabArena
+# ---------------------------------------------------------------------------
+
+
+class TestSlabArena:
+    def test_write_view_roundtrip(self):
+        arena = SlabArena(slab_bytes=1 << 16)
+        payload = bytes(range(256)) * 20
+        ref = arena.write(payload)
+        assert isinstance(ref, ArenaRef) and ref.length == len(payload)
+        view = arena.view(ref)
+        assert view.readonly and bytes(view) == payload
+        assert arena.charged_bytes(ref) == len(payload)
+        assert arena.resident_bytes == len(payload)
+        arena.close()
+
+    def test_refcounting_reclaims_on_last_decref(self):
+        arena = SlabArena(slab_bytes=1 << 12)
+        ref = arena.write(b"a" * 4096)  # fills one slab exactly
+        arena.incref(ref)
+        arena.write(b"b" * 4096)  # seals the first slab
+        arena.decref(ref)
+        assert bytes(arena.view(ref)) == b"a" * 4096  # one ref still live
+        arena.decref(ref)
+        with pytest.raises(ArenaLookupError):
+            arena.view(ref)
+        assert arena.resident_bytes == 4096  # only the second entry remains
+        arena.close()
+
+    def test_live_view_makes_zombie_not_invalid(self):
+        arena = SlabArena(slab_bytes=1 << 12)
+        ref = arena.write(b"z" * 4096)
+        view = arena.view(ref)
+        arena.write(b"y" * 4096)  # seals the z-slab
+        arena.decref(ref)  # reclaim while `view` still exports the buffer
+        assert arena.stats().zombie_slabs == 1
+        assert bytes(view) == b"z" * 4096  # the view survived reclamation
+        del view
+        arena.write(b"x" * 4096)  # any arena op sweeps the zombie list
+        assert arena.stats().zombie_slabs == 0
+        arena.close()
+
+    def test_oversized_payload_gets_dedicated_slab(self):
+        arena = SlabArena(slab_bytes=1 << 12)
+        big = os.urandom(3 << 12)
+        ref = arena.write(big)
+        assert bytes(arena.view(ref)) == big
+        assert arena.stats().allocated_bytes >= len(big)
+        arena.close()
+
+    def test_stale_ref_after_close_raises(self):
+        arena = SlabArena()
+        ref = arena.write(b"q" * 5000)
+        arena.close()
+        with pytest.raises(ArenaLookupError):
+            arena.view(ref)
+        with pytest.raises(ArenaLookupError):
+            arena.incref(ref)
+
+
+# ---------------------------------------------------------------------------
+# Bit-exactness vs. encoding/reference.py, on every backend
+# ---------------------------------------------------------------------------
+
+_coeff = st.one_of(
+    st.floats(-1e30, 1e30, allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.0, -0.0, 2.0**-999, -(2.0**-1001), 1e300]),
+)
+
+
+class TestBackendsBitExact:
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 160), elements=_coeff),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bitplane_accumulate_matches_reference(self, executor, coeffs, num_planes):
+        stream = BitplaneEncoder(num_planes=num_planes).encode(coeffs)
+        dec_ref = ReferenceBitplaneDecoder(
+            reference_bitplane_encode(coeffs, num_planes=num_planes)
+        )
+        dec_ref.advance_to(num_planes)
+        # drive the kernel directly (streams this small would not offload);
+        # all-zero inputs encode fewer stored planes than requested
+        available = len(stream.plane_segments)
+        dec = BitplaneDecoder(stream)
+        if available == 0:
+            dec.advance_to(num_planes)
+            assert np.array_equal(dec.reconstruct(), dec_ref.reconstruct())
+            return
+        dec.advance_to(1)  # signs + plane 0 inline; the rest via the kernel
+        items = [(p, stream.plane_segments[p]) for p in range(1, available)]
+        half = max(1, len(items) // 2)
+        for chunk in (items[:half], items[half:]):
+            if not chunk:
+                continue
+            payload = executor.run(
+                "bitplane_accumulate", chunk, stream.num_planes, stream.size, "zlib"
+            )
+            merge_magnitude_bytes(dec._mag_bytes, payload)
+        dec.planes_consumed = available
+        rec = dec.reconstruct()
+        rec_ref = dec_ref.reconstruct()
+        assert np.array_equal(rec, rec_ref)
+        assert np.array_equal(np.signbit(rec), np.signbit(rec_ref))
+
+    def test_all_zero_planes(self, executor):
+        # every stored plane of an all-zero field is an all-zero bitmap
+        coeffs = np.zeros(512)
+        coeffs[0] = 1.0  # one nonzero so planes are actually stored
+        stream = BitplaneEncoder(num_planes=24).encode(coeffs)
+        available = len(stream.plane_segments)
+        assert available > 1
+        dec = BitplaneDecoder(stream)
+        dec.advance_to(1)  # signs + plane 0 inline
+        items = [(p, stream.plane_segments[p]) for p in range(1, available)]
+        payload = executor.run(
+            "bitplane_accumulate", items, stream.num_planes, stream.size, "zlib"
+        )
+        merge_magnitude_bytes(dec._mag_bytes, payload)
+        dec.planes_consumed = available
+        rec = dec.reconstruct()
+        ref = ReferenceBitplaneDecoder(
+            reference_bitplane_encode(coeffs, num_planes=24)
+        )
+        ref.advance_to(24)
+        assert np.array_equal(rec, ref.reconstruct())
+
+    @given(st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=1500))
+    @settings(max_examples=20, deadline=None)
+    def test_huffman_roundtrip_matches_reference(self, executor, values):
+        # RHC2 (codec) and RHC1 (reference) containers differ by design;
+        # equivalence is payload-identity vs. the in-process codec plus
+        # decoded-symbol identity vs. the RHC1 reference roundtrip
+        from repro.encoding.huffman import HuffmanCodec
+
+        sym = np.array(values, dtype=np.int64)
+        payload = executor.run("huffman_encode", sym)
+        assert payload == HuffmanCodec().encode(sym)
+        assert np.array_equal(executor.run("huffman_decode", payload), sym)
+        assert np.array_equal(
+            reference_huffman_decode(reference_huffman_encode(sym)), sym
+        )
+
+    def test_huffman_single_symbol_alphabet(self, executor):
+        from repro.encoding.huffman import HuffmanCodec
+
+        for n in (1, 7, 1024):
+            sym = np.full(n, -42, dtype=np.int64)
+            payload = executor.run("huffman_encode", sym)
+            assert payload == HuffmanCodec().encode(sym)
+            assert np.array_equal(executor.run("huffman_decode", payload), sym)
+            assert np.array_equal(
+                reference_huffman_decode(reference_huffman_encode(sym)), sym
+            )
+
+    def test_huffman_16_bit_length_limited_codes(self, executor):
+        from repro.encoding.huffman import HuffmanCodec
+
+        # Fibonacci counts build the deepest trees, forcing the limiter
+        counts = [1, 1]
+        while len(counts) < 28:
+            counts.append(counts[-1] + counts[-2])
+        rng = np.random.default_rng(0)
+        sym = rng.permutation(
+            np.repeat(np.arange(len(counts)), counts)
+        ).astype(np.int64)
+        payload = executor.run("huffman_encode", sym)
+        assert payload == HuffmanCodec().encode(sym)
+        assert np.array_equal(executor.run("huffman_decode", payload), sym)
+        assert np.array_equal(
+            reference_huffman_decode(reference_huffman_encode(sym)), sym
+        )
+
+    def test_decoder_offload_path_matches_inline(self, executor):
+        # large enough to clear OFFLOAD_MIN_ELEMENTS so use_executor offloads
+        rng = np.random.default_rng(3)
+        coeffs = rng.standard_normal(6000)
+        stream = BitplaneEncoder(num_planes=32).encode(coeffs)
+        inline = BitplaneDecoder(stream)
+        inline.advance_to(20)
+        offloaded = BitplaneDecoder(stream)
+        offloaded.use_executor(executor)
+        offloaded.advance_to(20)
+        assert np.array_equal(inline.reconstruct(), offloaded.reconstruct())
+        inline.advance_to(32)
+        offloaded.advance_to(32)
+        assert np.array_equal(inline.reconstruct(), offloaded.reconstruct())
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy: fetch -> cache -> handle -> worker reads the same slab bytes
+# ---------------------------------------------------------------------------
+
+
+def _buffer_address(view) -> int:
+    return np.frombuffer(view, dtype=np.uint8).__array_interface__["data"][0]
+
+
+class TestZeroCopy:
+    def test_cache_serves_aliasing_views_and_single_write(self):
+        arena = SlabArena(slab_bytes=1 << 16)
+        cache = FragmentCache(capacity_bytes=1 << 20, arena=arena)
+        payload = bytes(range(256)) * 32  # 8 KiB, above the arena floor
+        served = cache.get_or_load("v", "s", lambda: payload)
+        assert isinstance(served, memoryview) and served.readonly
+        ref = cache.handle("v", "s")
+        assert isinstance(ref, ArenaRef)
+        # the payload was written into shared memory exactly once, and
+        # every consumer view aliases that one slab range
+        assert arena.stats().bytes_written == len(payload)
+        assert _buffer_address(served) == _buffer_address(arena.view(ref))
+        hit = cache.get_or_load("v", "s", lambda: pytest.fail("must hit"))
+        assert _buffer_address(hit) == _buffer_address(served)
+        arena.close()
+
+    def test_worker_reads_slab_in_place(self):
+        arena = SlabArena(slab_bytes=1 << 16)
+        cache = FragmentCache(capacity_bytes=1 << 20, arena=arena)
+        payload = os.urandom(8192)
+        cache.get_or_load("v", "s", lambda: payload)
+        ref = cache.handle("v", "s")
+        ex = ProcessKernelExecutor(workers=1, arena=arena)
+        if ex.broken:
+            ex.close()
+            pytest.skip("no process pool available")
+        echoed_ref, length, head, pid = ex.run("slab_probe", ref)
+        assert echoed_ref == ref  # the 24-byte handle crossed, not the bytes
+        assert length == len(payload) and head == payload[:16]
+        assert pid != os.getpid()
+        # still one copy: the probe pickled no payload back into a slab
+        assert arena.stats().bytes_written == len(payload)
+        ex.close()
+
+    def test_stale_handle_raises_lookup_error_in_worker(self):
+        arena = SlabArena(slab_bytes=1 << 16)
+        ex = ProcessKernelExecutor(workers=1, arena=arena)
+        if ex.broken:
+            ex.close()
+            pytest.skip("no process pool available")
+        stale = ArenaRef(slab="psm_does_not_exist", offset=0, length=16)
+        with pytest.raises(ArenaLookupError):
+            ex.run("slab_probe", stale)
+        ex.close()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: dead workers degrade, never hang or lose a round
+# ---------------------------------------------------------------------------
+
+
+def _small_archive(tmp_path, shape=(64, 64)):
+    from repro.compressors.base import make_refactorer
+    from repro.core.ingest import ingest_dataset
+    from repro.storage.store import open_store
+
+    rng = np.random.default_rng(11)
+    variables = {"p": rng.standard_normal(shape) * 10 + 100}
+    store = open_store("memory://")
+    ingest_dataset(store, variables, make_refactorer("pmgard_hb"))
+    return store, variables
+
+
+def _retrieve(store, variables, executor):
+    from repro.core.qois import qoi_from_spec
+    from repro.core.retrieval import QoIRequest, QoIRetriever
+    from repro.storage.archive import Archive
+
+    archive = Archive(store)
+    refactored = {n: archive.load(n, lazy=True) for n in variables}
+    ranges = {n: float(v.max() - v.min()) for n, v in variables.items()}
+    retriever = QoIRetriever(refactored, ranges, executor=executor)
+    request = QoIRequest("p", qoi_from_spec("identity", ["p"]), 1e-6, 1.0)
+    return retriever.retrieve([request])
+
+
+class TestWorkerFaults:
+    def test_killed_workers_replay_inline_without_losing_tasks(self):
+        ex = ProcessKernelExecutor(workers=2)
+        if ex.broken:
+            ex.close()
+            pytest.skip("no process pool available")
+        assert ex.run("ping", 1) == 1  # pool demonstrably alive
+        for pid in ex.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        tasks = [ex.submit("ping", i) for i in range(16)]
+        assert [t.result() for t in tasks] == list(range(16))
+        assert ex.broken
+        assert ex.stats().fallbacks > 0
+        # permanently degraded: later submits run inline and still work
+        assert ex.run("ping", 99) == 99
+        assert sorted(
+            t.result() for t in as_completed_tasks([ex.submit("ping", i) for i in range(4)])
+        ) == [0, 1, 2, 3]
+        ex.close()
+
+    def test_retrieval_with_dead_pool_is_bit_identical(self, tmp_path):
+        store, variables = _small_archive(tmp_path, shape=(128, 128))
+        baseline = _retrieve(store, variables, None)
+        ex = ProcessKernelExecutor(workers=2)
+        if ex.broken:
+            ex.close()
+            pytest.skip("no process pool available")
+        for pid in ex.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        degraded = _retrieve(store, variables, ex)
+        assert np.array_equal(baseline.data["p"], degraded.data["p"])
+        assert baseline.rounds == degraded.rounds
+        assert baseline.total_bytes == degraded.total_bytes
+        ex.close()
+
+    def test_genuine_kernel_error_propagates(self, executor):
+        task = executor.submit("huffman_decode", b"not a huffman payload")
+        with pytest.raises(Exception) as excinfo:
+            task.result()
+        assert not isinstance(excinfo.value, ArenaLookupError)
+
+
+# ---------------------------------------------------------------------------
+# make_executor resolution and service stats surfacing
+# ---------------------------------------------------------------------------
+
+
+class TestMakeExecutor:
+    def test_spec_strings_and_passthrough(self):
+        assert make_executor("off") is None
+        assert make_executor("none") is None
+        ex = SerialKernelExecutor()
+        assert make_executor(ex) is ex
+        shared = make_executor("serial")
+        assert make_executor("serial") is shared  # process-wide singleton
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert make_executor(None) is None
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        assert make_executor(None).backend == "serial"
+
+    def test_service_surfaces_breakdown_and_executor_stats(self):
+        from dataclasses import asdict
+
+        from repro.core.qois import qoi_from_spec
+        from repro.core.retrieval import QoIRequest
+        from repro.service.service import RetrievalService
+        from repro.storage.store import open_store
+        from repro.compressors.base import make_refactorer
+        from repro.core.ingest import ingest_dataset
+
+        rng = np.random.default_rng(5)
+        variables = {"p": rng.standard_normal((64, 64)) + 4.0}
+        store = open_store("memory://")
+        ingest_dataset(store, variables, make_refactorer("pmgard_hb"))
+        ranges = {"p": float(variables["p"].max() - variables["p"].min())}
+        service = RetrievalService(store, value_ranges=ranges, executor="serial")
+        with service.open_session() as session:
+            request = QoIRequest("p", qoi_from_spec("identity", ["p"]), 1e-4, 1.0)
+            session.retrieve([request])
+        stats = service.stats()
+        assert stats.retrieval_rounds > 0
+        assert stats.compute_seconds + stats.io_wait_seconds > 0
+        assert stats.executor is not None
+        assert stats.executor.backend == "serial"
+        # the wire format (dataclasses.asdict) carries the new fields
+        wire = asdict(stats)
+        assert "io_wait_seconds" in wire and wire["executor"]["tasks"] >= 0
