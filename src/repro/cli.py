@@ -192,8 +192,30 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _resilience_from_args(args):
+    """Build the (RetryPolicy, CircuitBreaker) pair from --retry/--breaker.
+
+    Either may be None (flag left at 0 = disabled); callers hand the pair
+    to :func:`~repro.storage.resilience.wrap_with_resilience`.
+    """
+    from repro.storage.resilience import CircuitBreaker, RetryPolicy
+
+    retry = RetryPolicy(attempts=args.retry) if args.retry else None
+    breaker = (
+        CircuitBreaker(
+            failure_threshold=args.breaker, cooldown=args.breaker_cooldown
+        )
+        if args.breaker
+        else None
+    )
+    return retry, breaker
+
+
 def _cmd_retrieve(args) -> int:
     store, manifest = _load_manifest(args.archive)
+    from repro.storage.resilience import wrap_with_resilience
+
+    store = wrap_with_resilience(store, *_resilience_from_args(args))
     fields = [f.strip() for f in args.fields.split(",") if f.strip()]
     qoi = build_qoi(args.qoi, fields)
     missing = [f for f in fields if f not in manifest.variables]
@@ -219,10 +241,14 @@ def _cmd_retrieve(args) -> int:
         manifest.value_ranges(),
         pipeline_depth=args.pipeline_depth,
         max_workers=args.fetch_workers,
+        hedge_delay_s=None if args.hedge_ms is None else args.hedge_ms / 1000.0,
         executor=executor,
     )
     request = QoIRequest(args.qoi, qoi, args.tolerance, args.qoi_range)
-    result = retriever.retrieve([request])
+    result = retriever.retrieve(
+        [request],
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1000.0,
+    )
 
     os.makedirs(args.out, exist_ok=True)
     for name, data in result.data.items():
@@ -236,10 +262,17 @@ def _cmd_retrieve(args) -> int:
         "estimated_error": result.estimated_errors[args.qoi],
         "rounds": result.rounds,
         "bytes_retrieved": result.total_bytes,
+        "degraded": result.degraded,
+        "degraded_reason": result.degraded_reason,
     }
     with open(os.path.join(args.out, "report.json"), "w") as fh:
         json.dump(report, fh, indent=2)
-    status = "satisfied" if result.all_satisfied else "NOT satisfied (representation exhausted)"
+    if result.degraded:
+        status = f"DEGRADED ({result.degraded_reason})"
+    elif result.all_satisfied:
+        status = "satisfied"
+    else:
+        status = "NOT satisfied (representation exhausted)"
     print(f"retrieved {result.total_bytes} B in {result.rounds} round(s); "
           f"guaranteed QoI error {result.estimated_errors[args.qoi]:.3e} "
           f"({status}) -> {args.out}")
@@ -337,6 +370,25 @@ def _cmd_stats(args) -> int:
     if slab_entries:
         print(f"  arena: {slab_entries} slab entrie(s), "
               f"{cache['slab_resident_bytes']} B resident in shared memory")
+    admitted = stats.get("requests_admitted", 0)
+    shed = stats.get("requests_shed", 0)
+    degraded = stats.get("requests_degraded", 0)
+    if admitted or shed or degraded:
+        print(f"admission: {admitted} admitted / {shed} shed / "
+              f"{degraded} degraded "
+              f"({stats.get('requests_inflight', 0)} in flight, "
+              f"{stats.get('hedged_fetches', 0)} hedged fetch(es))")
+        if stats.get("worst_degraded_ratio", 0.0) > 0:
+            print(f"  worst degraded error/tolerance ratio: "
+                  f"{stats['worst_degraded_ratio']:.2f}x")
+    resilience = stats.get("resilience")
+    if resilience and resilience.get("attempts"):
+        print(f"resilience: {resilience['attempts']} store attempt(s), "
+              f"{resilience['retries']} retried, "
+              f"{resilience['giveups']} gave up; "
+              f"breaker {resilience['breaker_state']} "
+              f"({resilience['breaker_opens']} open(s), "
+              f"{resilience['breaker_rejections']} rejection(s))")
     if stats.get("tiers"):
         _print_tier_stats(stats["tiers"])
     if stats.get("durability"):
@@ -345,13 +397,22 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    service = RetrievalService.open(
-        args.archive,
+    from repro.storage.resilience import wrap_with_resilience
+
+    store = open_store(args.archive)
+    store = wrap_with_resilience(store, *_resilience_from_args(args))
+    if isinstance(store, TieredStore):
+        store.start_transfer()
+    service = RetrievalService(
+        store,
         cache_bytes=int(args.cache_mb) << 20,
         pipeline_depth=args.pipeline_depth,
         max_workers=args.fetch_workers,
         executor=args.executor,
         workers=args.workers,
+        max_inflight=args.max_inflight,
+        client_rate=args.client_rate,
+        hedge_delay_s=None if args.hedge_ms is None else args.hedge_ms / 1000.0,
     )
     server = RetrievalServer(service, args.host, args.port)
     host, port = server.address
@@ -441,11 +502,13 @@ def _cmd_restore(args) -> int:
 
 
 def _cmd_client(args) -> int:
-    from repro.service.server import ServiceError
+    from repro.service.server import OverloadedResponse, ServiceError
 
     fields = [f.strip() for f in args.fields.split(",") if f.strip()]
     try:
-        client_ctx = ServiceClient(args.host, args.port)
+        client_ctx = ServiceClient(
+            args.host, args.port, overload_retries=args.retries
+        )
     except OSError as exc:
         raise SystemExit(
             f"cannot reach server at {args.host}:{args.port}: {exc}"
@@ -455,6 +518,14 @@ def _cmd_client(args) -> int:
             response = client.retrieve(
                 args.qoi, fields, args.tolerance, args.qoi_range,
                 include_data=args.out is not None,
+                priority=args.priority,
+                deadline_ms=args.deadline_ms,
+            )
+        except OverloadedResponse as exc:
+            raise SystemExit(
+                f"server shed the request ({exc.reason}); "
+                f"retry after {exc.retry_after_ms:.0f} ms "
+                f"(or raise --retries to back off automatically)"
             )
         except ServiceError as exc:
             raise SystemExit(f"server rejected the request: {exc}")
@@ -474,7 +545,12 @@ def _cmd_client(args) -> int:
             }
             with open(os.path.join(args.out, "report.json"), "w") as fh:
                 json.dump(report, fh, indent=2)
-    status = "satisfied" if response["satisfied"] else "NOT satisfied (representation exhausted)"
+    if response.get("degraded"):
+        status = f"DEGRADED ({response.get('degraded_reason')})"
+    elif response["satisfied"]:
+        status = "satisfied"
+    else:
+        status = "NOT satisfied (representation exhausted)"
     dest = f" -> {args.out}" if args.out is not None else ""
     print(f"retrieved {response['bytes_retrieved']} B in {response['rounds']} round(s); "
           f"guaranteed QoI error {response['estimated_error']:.3e} ({status}){dest}")
@@ -552,6 +628,20 @@ def make_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_EXECUTOR env, else inline)")
     p_ret.add_argument("--workers", type=int, default=None,
                        help="kernel-executor worker count (default: CPU count)")
+    p_ret.add_argument("--retry", type=int, default=0,
+                       help="store attempts per operation under transient "
+                            "faults (0 disables retries)")
+    p_ret.add_argument("--breaker", type=int, default=0,
+                       help="circuit-breaker failure threshold for the store "
+                            "(0 disables the breaker)")
+    p_ret.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds an open breaker waits before probing")
+    p_ret.add_argument("--deadline-ms", type=float, default=None,
+                       help="retrieval wall-time budget; on expiry the best "
+                            "bounds achieved so far are returned (degraded)")
+    p_ret.add_argument("--hedge-ms", type=float, default=None,
+                       help="duplicate a round's last straggler fetch after "
+                            "this many ms (tail-latency hedging)")
     p_ret.set_defaults(func=_cmd_retrieve)
 
     p_serve = sub.add_parser(
@@ -578,6 +668,23 @@ def make_parser() -> argparse.ArgumentParser:
                               "through (default: REPRO_EXECUTOR env, else inline)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="kernel-executor worker count (default: CPU count)")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         help="bound on concurrent retrievals; beyond it "
+                              "requests are shed with a retry_after hint "
+                              "(default: unbounded)")
+    p_serve.add_argument("--client-rate", type=float, default=None,
+                         help="per-client token-bucket rate in requests/s "
+                              "(default: unlimited)")
+    p_serve.add_argument("--retry", type=int, default=0,
+                         help="store attempts per operation under transient "
+                              "faults (0 disables retries)")
+    p_serve.add_argument("--breaker", type=int, default=0,
+                         help="circuit-breaker failure threshold for the "
+                              "backing store (0 disables the breaker)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                         help="seconds an open breaker waits before probing")
+    p_serve.add_argument("--hedge-ms", type=float, default=None,
+                         help="per-session straggler-fetch hedging delay in ms")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(
@@ -643,6 +750,15 @@ def make_parser() -> argparse.ArgumentParser:
                           help="QoI value range; 1.0 means --tolerance is absolute")
     p_client.add_argument("--out", default=None,
                           help="save reconstructed fields + report here")
+    p_client.add_argument("--priority", type=int, default=0,
+                          help="request priority (negative = shed first "
+                               "under overload)")
+    p_client.add_argument("--deadline-ms", type=float, default=None,
+                          help="server-side retrieval deadline; on expiry "
+                               "the response is degraded with best bounds")
+    p_client.add_argument("--retries", type=int, default=0,
+                          help="re-issue a shed request this many times, "
+                               "honoring the server's retry_after hint")
     p_client.set_defaults(func=_cmd_client)
     return parser
 

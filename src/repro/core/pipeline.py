@@ -36,8 +36,43 @@ from __future__ import annotations
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.storage.archive import prefetch_plans
+
+
+def hedge_plans(plans) -> int:
+    """Duplicate-fetch *plans* regardless of in-flight claims.
+
+    The hedged twin of :func:`~repro.storage.archive.prefetch_plans`:
+    where that claims segments atomically so cooperating prefetches
+    never read a fragment twice, this *deliberately* re-reads segments a
+    straggling batch has claimed but not delivered — the point of a
+    hedge is racing the straggler, not queueing behind it.  Segments
+    that already arrived are still skipped, results land via the same
+    idempotent ``absorb``, and no claims are taken or released, so the
+    straggler's own bookkeeping is untouched whichever fetch wins.
+    Returns the number of fragments fetched.
+    """
+    by_store: dict = {}
+    for source, segments in plans:
+        wanted = source.unarrived(segments)
+        if wanted:
+            by_store.setdefault(id(source.store), (source.store, []))[1].extend(
+                (source, seg) for seg in wanted
+            )
+    fetched = 0
+    for store, entries in by_store.values():
+        payloads = store.get_many([(src.variable, seg) for src, seg in entries])
+        per_source: dict = {}
+        for src, seg in entries:
+            per_source.setdefault(id(src), (src, {}))[1][seg] = payloads[
+                (src.variable, seg)
+            ]
+        for src, batch in per_source.values():
+            src.absorb(batch)
+            fetched += len(batch)
+    return fetched
 
 #: Default number of speculative round-fetches that may be in flight.
 DEFAULT_PIPELINE_DEPTH = 1
@@ -54,17 +89,23 @@ class PipelineConfig:
     speculation; fetches are still planned and coalesced per round).
     ``max_workers`` sizes the fetch thread pool (0 disables threading
     entirely — planned batches are fetched synchronously, which still
-    coalesces store round trips).
+    coalesces store round trips).  ``hedge_delay_s``, when set, bounds
+    how long the decode stage waits on a round's *last* straggling batch
+    before duplicating its fetch inline (see
+    :meth:`FetchPipeline.iter_groups`); ``None`` disables hedging.
     """
 
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
     max_workers: int = DEFAULT_MAX_WORKERS
+    hedge_delay_s: float | None = None
 
     def __post_init__(self):
         if self.pipeline_depth < 0:
             raise ValueError("pipeline_depth must be >= 0")
         if self.max_workers < 0:
             raise ValueError("max_workers must be >= 0")
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ValueError("hedge_delay_s must be positive (or None)")
 
 
 class FetchPipeline:
@@ -88,9 +129,18 @@ class FetchPipeline:
             else None
         )
         self._speculative: deque = deque()  # in-flight speculative futures
+        self._orphans: list = []  # straggler futures superseded by a hedge
         self._closed = False
+        #: Absolute ``perf_counter`` deadline of the current retrieval
+        #: (None = none).  Set by the retrieval loop; once passed, the
+        #: pipeline stops accepting speculative prefetches — the round
+        #: loop is about to stop tightening, so warming future rounds
+        #: would be pure waste.
+        self.deadline: float | None = None
         #: Fragments fetched ahead of decode (accounting for benchmarks).
         self.fragments_prefetched = 0
+        #: Straggler batches whose fetch was duplicated inline (hedged).
+        self.hedged_fetches = 0
         #: Wall seconds the decode stage spent *waiting* on fetches.
         self.io_wait_seconds = 0.0
         #: Wall seconds the decode stage spent computing (decode+reconstruct).
@@ -140,9 +190,10 @@ class FetchPipeline:
         entries = [e for e in entries if e[2]]
         if not entries:
             return []
+        plans_of = lambda chunk: [(source, segments) for _, source, segments in chunk]  # noqa: E731
         if self._pool is None:
-            prefetch_plans([(source, segments) for _, source, segments in entries])
-            return [([key for key, _, _ in entries], None)]
+            prefetch_plans(plans_of(entries))
+            return [([key for key, _, _ in entries], None, plans_of(entries))]
         width = min(self.config.max_workers, len(entries))
         bins = [[] for _ in range(width)]
         sizes = [0] * width
@@ -161,22 +212,46 @@ class FetchPipeline:
         for chunk in bins:
             if not chunk:
                 continue
-            future = self._pool.submit(
-                prefetch_plans, [(source, segments) for _, source, segments in chunk]
-            )
-            groups.append(([key for key, _, _ in chunk], future))
+            future = self._pool.submit(prefetch_plans, plans_of(chunk))
+            groups.append(([key for key, _, _ in chunk], future, plans_of(chunk)))
         return groups
 
     def iter_groups(self, groups):
-        """Yield each group's keys as its fetch completes (decode order)."""
-        pending = {group[1]: group[0] for group in groups if group[1] is not None}
-        for keys, future in groups:
+        """Yield each group's keys as its fetch completes (decode order).
+
+        With ``hedge_delay_s`` configured, the round's **last** pending
+        batch is only waited on that long; if it is still in flight (a
+        straggling backend — one slow replica, a stalled socket), its
+        plan is fetched again *inline* on the decode thread and decode
+        proceeds from the hedge.  The duplicate read is correctness-free
+        (:meth:`~repro.storage.archive.FragmentSource.absorb` is
+        idempotent) and, through a tiered/cached store, is exactly the
+        "second replica" race the tail-latency literature hedges
+        against; the superseded future is drained at :meth:`close`.  A
+        hedge that fails simply resumes waiting on the original.
+        """
+        pending = {group[1]: group for group in groups if group[1] is not None}
+        for keys, future, _ in groups:
             if future is None:
                 yield keys
         while pending:
-            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            hedge = self.config.hedge_delay_s
+            timeout = hedge if (hedge is not None and len(pending) == 1) else None
+            done, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                # the last batch is straggling: duplicate its fetch inline
+                future, (keys, _, plans) = next(iter(pending.items()))
+                try:
+                    self.fragments_prefetched += hedge_plans(plans)
+                except Exception:
+                    continue  # hedge lost too; keep waiting on the original
+                self.hedged_fetches += 1
+                self._orphans.append(future)
+                del pending[future]
+                yield keys
+                continue
             for future in done:
-                keys = pending.pop(future)
+                keys = pending.pop(future)[0]
                 self.fragments_prefetched += future.result()
                 yield keys
 
@@ -202,6 +277,8 @@ class FetchPipeline:
             or self.config.pipeline_depth == 0
         ):
             return False
+        if self.deadline is not None and perf_counter() >= self.deadline:
+            return False  # the loop is about to stop tightening anyway
         plans = [
             (source, missing)
             for source, segments in plans
@@ -245,6 +322,11 @@ class FetchPipeline:
         self._closed = True
         while self._speculative:
             self._harvest(self._speculative.popleft())
+        # hedged-over stragglers: their segments were served by the hedge,
+        # so a late failure here is outcome-free and swallowed
+        for future in self._orphans:
+            self._harvest(future)
+        self._orphans.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 

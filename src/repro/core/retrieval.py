@@ -41,6 +41,7 @@ from repro.core.pipeline import (
     PipelineConfig,
     pipeline_sources,
 )
+from repro.storage.resilience import DegradedError, TRANSIENT_ERRORS
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive
 
@@ -97,7 +98,17 @@ class QoIRequest:
 
 @dataclass
 class RetrievalResult:
-    """Outcome of one QoI-preserved retrieval."""
+    """Outcome of one QoI-preserved retrieval.
+
+    A *degraded* result is still a **valid** one — the progressive
+    representation's defining property.  When the round loop stops early
+    (deadline reached, or a backend became unavailable after at least
+    one full decode round), ``degraded`` is True, ``degraded_reason``
+    says why, and ``estimated_errors`` holds the bounds actually
+    *achieved*: the data is correct to those (looser) tolerances, and
+    ``satisfied`` says per QoI whether the requested tolerance was met
+    anyway.
+    """
 
     data: dict
     bytes_per_variable: dict
@@ -106,6 +117,14 @@ class RetrievalResult:
     rounds: int
     final_ebs: dict
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    #: True when the loop stopped before meeting every tolerance for an
+    #: operational reason (deadline, backend outage) — the bounds in
+    #: ``estimated_errors`` are the looser-but-valid achieved ones.
+    degraded: bool = False
+    #: Why the result is degraded (None when it is not).
+    degraded_reason: str | None = None
+    #: Straggler fetches the pipeline hedged with a duplicate read.
+    hedged_fetches: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -168,6 +187,7 @@ class QoIRetriever:
         reduction_factor: float = DEFAULT_REDUCTION_FACTOR,
         pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        hedge_delay_s: float | None = None,
         executor=None,
         workers: int | None = None,
     ):
@@ -183,7 +203,9 @@ class QoIRetriever:
         self.reduction_factor = float(reduction_factor)
         self.executor = make_executor(executor, workers=workers)
         self.pipeline = PipelineConfig(
-            pipeline_depth=int(pipeline_depth), max_workers=int(max_workers)
+            pipeline_depth=int(pipeline_depth),
+            max_workers=int(max_workers),
+            hedge_delay_s=None if hedge_delay_s is None else float(hedge_delay_s),
         )
 
     def add_variable(
@@ -212,9 +234,16 @@ class QoIRetriever:
         """
         return RetrievalSession(self)
 
-    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
+    def retrieve(
+        self,
+        requests,
+        max_rounds: int = 100,
+        deadline_s: float | None = None,
+    ) -> RetrievalResult:
         """Run one retrieval from scratch (a fresh single-use session)."""
-        return self.session().retrieve(requests, max_rounds=max_rounds)
+        return self.session().retrieve(
+            requests, max_rounds=max_rounds, deadline_s=deadline_s
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -281,11 +310,23 @@ class RetrievalSession:
         max_rounds: int = 100,
         pipeline_depth: int | None = None,
         max_workers: int | None = None,
+        deadline_s: float | None = None,
+        hedge_delay_s: float | None = None,
     ) -> RetrievalResult:
         """Run the QoI-preserved retrieval loop for *requests*.
 
-        ``pipeline_depth`` / ``max_workers`` override the retriever's
-        fetch/decode pipeline knobs for this call only.
+        ``pipeline_depth`` / ``max_workers`` / ``hedge_delay_s`` override
+        the retriever's fetch/decode pipeline knobs for this call only.
+
+        *deadline_s* bounds this call's wall time: the loop always runs
+        at least one round, then stops tightening once the deadline has
+        passed (or the next round's predicted cost would overshoot it)
+        and returns the best bounds achieved so far flagged
+        ``degraded=True`` — a valid looser answer, never an unbounded
+        wait.  The same degraded path absorbs a backend that becomes
+        unavailable (:class:`~repro.storage.resilience.DegradedError`,
+        an open circuit breaker, exhausted retries) after the first
+        complete round; an outage before any data arrives still raises.
         """
         retriever = self._retriever
         requests = list(requests)
@@ -312,34 +353,38 @@ class RetrievalSession:
         achieved = self._achieved
 
         config = retriever.pipeline
-        if pipeline_depth is not None or max_workers is not None:
+        if pipeline_depth is not None or max_workers is not None or hedge_delay_s is not None:
             config = PipelineConfig(
                 pipeline_depth=config.pipeline_depth if pipeline_depth is None else int(pipeline_depth),
                 max_workers=config.max_workers if max_workers is None else int(max_workers),
+                hedge_delay_s=config.hedge_delay_s if hedge_delay_s is None else float(hedge_delay_s),
             )
         sources = pipeline_sources({v: retriever._refactored[v] for v in involved})
         pipe = FetchPipeline(config) if sources else None
         c = retriever.reduction_factor
+        deadline = None if deadline_s is None else perf_counter() + float(deadline_s)
+        if pipe is not None:
+            pipe.deadline = deadline
 
         recon: dict = {}
         estimated = {r.name: np.inf for r in requests}
         satisfied = {r.name: False for r in requests}
         requested: dict = {}  # eb each reader was last asked for, this call
-        rounds = 0
         try:
-            result = self._run_rounds(
+            rounds, degraded_reason = self._run_rounds(
                 requests, involved, readers, ebs, achieved, requested,
                 recon, estimated, satisfied, sources, pipe, c, sw, max_rounds,
+                deadline,
             )
         finally:
             if pipe is not None:
                 pipe.close()
-        rounds = result
 
         bytes_per_var = {v: readers[v].bytes_retrieved for v in involved}
         for v, mask in retriever._masks.items():
             if v in bytes_per_var:
                 bytes_per_var[v] += mask.nbytes
+        degraded = degraded_reason is not None and not all(satisfied.values())
         return RetrievalResult(
             data=recon,
             bytes_per_variable=bytes_per_var,
@@ -348,16 +393,33 @@ class RetrievalSession:
             rounds=rounds,
             final_ebs={v: ebs[v] for v in involved},
             stopwatch=sw,
+            degraded=degraded,
+            degraded_reason=degraded_reason if degraded else None,
+            hedged_fetches=pipe.hedged_fetches if pipe is not None else 0,
         )
 
     def _run_rounds(
         self, requests, involved, readers, ebs, achieved, requested,
         recon, estimated, satisfied, sources, pipe, c, sw, max_rounds,
-    ) -> int:
-        """Algorithm 2's round loop over the fetch/decode pipeline."""
+        deadline=None,
+    ) -> tuple:
+        """Algorithm 2's round loop over the fetch/decode pipeline.
+
+        Returns ``(rounds, degraded_reason)``.  *deadline* (absolute
+        ``perf_counter`` time, or None) stops the loop from starting a
+        round once passed — or once the previous round's duration
+        predicts the next would overshoot it.  A store outage
+        (:class:`DegradedError`, open breaker, exhausted retries) after
+        every involved variable has decoded at least once ends the loop
+        the same way; the interrupted round's partial decodes keep their
+        tighter bounds and the final estimation pass prices the answer
+        actually being returned.
+        """
         retriever = self._retriever
         rounds = 0
         progressed = False
+        degraded_reason = None
+        last_round_s = 0.0
 
         def decode(v: str) -> None:
             # a reader only moves when asked for a *tighter* bound, and by
@@ -374,7 +436,24 @@ class RetrievalSession:
             mask = retriever._masks.get(v)
             recon[v] = mask.pin(rec.copy()) if mask is not None else rec
 
+        def degradable(exc: BaseException) -> bool:
+            # a backend outage degrades (valid looser answer) only once
+            # every involved variable has at least one reconstruction;
+            # before that there is nothing valid to serve, so re-raise
+            if not isinstance(exc, (DegradedError,) + TRANSIENT_ERRORS):
+                return False
+            return all(v in recon for v in involved)
+
         while rounds < max_rounds:
+            if deadline is not None and rounds >= 1:
+                now = perf_counter()
+                if now >= deadline or now + last_round_s > deadline:
+                    degraded_reason = (
+                        f"deadline reached after {rounds} round(s); "
+                        f"serving bounds achieved so far"
+                    )
+                    break
+            round_started = perf_counter()
             rounds += 1
             progressed = False
             # plan the full fragment set of every variable this round
@@ -392,40 +471,53 @@ class RetrievalSession:
             compute_s = 0.0
             decoded = set()
             if pipe is not None:
-                mark = perf_counter()
-                entries = []
-                for v in fetch_vars:
-                    source = sources.get(v)
-                    if source is None:
-                        continue
-                    segments = readers[v].plan_segments(ebs[v])
-                    if segments is not None:
-                        entries.append((v, source, segments))
-                # fetch stage: coalesced, byte-balanced get_many batches;
-                # decode stage: consume variables in completion order
-                group_iter = pipe.iter_groups(pipe.submit_round(entries))
-                io_wait_s += perf_counter() - mark
-                while True:
+                try:
                     mark = perf_counter()
-                    keys = next(group_iter, None)
+                    entries = []
+                    for v in fetch_vars:
+                        source = sources.get(v)
+                        if source is None:
+                            continue
+                        segments = readers[v].plan_segments(ebs[v])
+                        if segments is not None:
+                            entries.append((v, source, segments))
+                    # fetch stage: coalesced, byte-balanced get_many batches;
+                    # decode stage: consume variables in completion order
+                    group_iter = pipe.iter_groups(pipe.submit_round(entries))
                     io_wait_s += perf_counter() - mark
-                    if keys is None:
-                        break
+                    while True:
+                        mark = perf_counter()
+                        keys = next(group_iter, None)
+                        io_wait_s += perf_counter() - mark
+                        if keys is None:
+                            break
+                        mark = perf_counter()
+                        for v in keys:
+                            decode(v)
+                            decoded.add(v)
+                        compute_s += perf_counter() - mark
+                except Exception as exc:
+                    if not degradable(exc):
+                        raise
+                    io_wait_s += perf_counter() - mark
+                    degraded_reason = f"store unavailable: {exc}"
+            if degraded_reason is None:
+                try:
                     mark = perf_counter()
-                    for v in keys:
-                        decode(v)
-                        decoded.add(v)
+                    for v in fetch_vars:
+                        if v not in decoded:
+                            decode(v)
                     compute_s += perf_counter() - mark
-            mark = perf_counter()
-            for v in fetch_vars:
-                if v not in decoded:
-                    decode(v)
-            compute_s += perf_counter() - mark
+                except Exception as exc:
+                    if not degradable(exc):
+                        raise
+                    compute_s += perf_counter() - mark
+                    degraded_reason = f"store unavailable: {exc}"
             sw.add("fetch", io_wait_s)
             sw.add("decode", compute_s)
             if pipe is not None:
                 pipe.record_round(io_wait_s, compute_s)
-            if pipe is not None:
+            if pipe is not None and degraded_reason is None:
                 # speculation: while estimation runs on this thread, the
                 # fetch stage pulls the fragments the next round(s) would
                 # need if Algorithm 4 tightens every bound by c**depth —
@@ -465,7 +557,7 @@ class RetrievalSession:
                             int(region_idx[local]) if region_idx is not None else
                             int(np.argmax(bound.ravel()))
                         )
-            if all_met:
+            if all_met or degraded_reason is not None:
                 break
             if not progressed and rounds > 1:
                 break  # representations exhausted; cannot improve further
@@ -487,5 +579,6 @@ class RetrievalSession:
                     )
                     for v, e in new_ebs.items():
                         ebs[v] = min(ebs[v], e)
+            last_round_s = perf_counter() - round_started
 
-        return rounds
+        return rounds, degraded_reason

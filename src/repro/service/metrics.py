@@ -6,10 +6,12 @@ tiny threaded HTTP server to a running
 :class:`~repro.service.service.RetrievalService` and serves:
 
 * ``GET /metrics`` — the full ``repro stats`` counter set (sessions,
-  store reads/writes, cache hit rate, tier occupancy when tiered, and
-  the WAL durability counters: commits, tombstones, dead bytes,
-  compactions, reclaimed bytes) in Prometheus text exposition format,
-  every sample prefixed ``repro_``;
+  store reads/writes, cache hit rate, tier occupancy when tiered, the
+  WAL durability counters, and the resilience surface: admitted / shed /
+  degraded request counts, hedged fetches, and the backing store's
+  retry/breaker counters including the numeric
+  ``repro_resilience_breaker_is_open``) in Prometheus text exposition
+  format, every sample prefixed ``repro_``;
 * ``GET /health`` — a small JSON liveness document (``status``,
   variable count, active sessions, durability counters) suitable for a
   load-balancer or Kubernetes probe.

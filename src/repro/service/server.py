@@ -9,7 +9,12 @@ line in each direction — so any language can speak it:
 * ``{"op": "info"}`` → archived variables and their metadata,
 * ``{"op": "retrieve", "qoi": "vtot", "fields": [...], "tolerance": 1e-4,
   "qoi_range": 350.0, "include_data": true}`` → the retrieval report,
-  optionally with base64-encoded ``.npy`` payloads per variable,
+  optionally with base64-encoded ``.npy`` payloads per variable.
+  Optional ``"priority"`` (negative = shed-first) and ``"deadline_ms"``
+  engage the service's admission control and deadline-aware rounds: a
+  shed request answers ``{"ok": false, "error": "overloaded",
+  "retry_after_ms": ...}`` immediately, and a deadline-hit request
+  answers with ``"degraded": true`` plus the best bounds achieved,
 * ``{"op": "ingest", "variables": {"p": "<b64 .npy>"}, "method":
   "pmgard_hb"}`` → absorb new or updated variables into the live
   archive through the streaming ingestion engine (optionally with
@@ -35,13 +40,14 @@ import io
 import json
 import socket
 import socketserver
+import time
 from dataclasses import asdict
 
 import numpy as np
 
 from repro.core.qois import qoi_from_spec
 from repro.core.retrieval import QoIRequest
-from repro.service.service import RetrievalService
+from repro.service.service import OverloadedError, RetrievalService
 
 
 def _json_safe(obj):
@@ -74,6 +80,23 @@ def decode_array(payload: str) -> np.ndarray:
 
 class ServiceError(RuntimeError):
     """A request the server answered with ``ok: false``."""
+
+
+class OverloadedResponse(ServiceError):
+    """The server shed this request (admission control).
+
+    Carries the server's ``retry_after_ms`` backoff hint and the limit
+    that fired (``reason``: ``"inflight"`` or ``"rate"``).  Raised by
+    :class:`ServiceClient` only after its configured overload retries
+    are exhausted.
+    """
+
+    def __init__(self, retry_after_ms: float, reason: str = "overloaded"):
+        super().__init__(
+            f"server overloaded ({reason}); retry after {retry_after_ms:.0f} ms"
+        )
+        self.retry_after_ms = float(retry_after_ms)
+        self.reason = reason
 
 
 class _ClientHandler(socketserver.StreamRequestHandler):
@@ -129,17 +152,30 @@ class _ClientHandler(socketserver.StreamRequestHandler):
         if op == "retrieve":
             fields = list(request["fields"])
             qoi = qoi_from_spec(request["qoi"], fields)
-            result = session.retrieve(
-                [
-                    QoIRequest(
-                        request["qoi"],
-                        qoi,
-                        float(request["tolerance"]),
-                        float(request.get("qoi_range", 1.0)),
-                    )
-                ],
-                max_rounds=int(request.get("max_rounds", 100)),
-            )
+            deadline_ms = request.get("deadline_ms")
+            try:
+                result = session.retrieve(
+                    [
+                        QoIRequest(
+                            request["qoi"],
+                            qoi,
+                            float(request["tolerance"]),
+                            float(request.get("qoi_range", 1.0)),
+                        )
+                    ],
+                    max_rounds=int(request.get("max_rounds", 100)),
+                    priority=int(request.get("priority", 0)),
+                    deadline_ms=None if deadline_ms is None else float(deadline_ms),
+                )
+            except OverloadedError as exc:
+                # explicit shed: no state was created server-side, and the
+                # client gets a concrete backoff hint instead of a hang
+                return {
+                    "ok": False,
+                    "error": "overloaded",
+                    "reason": exc.reason,
+                    "retry_after_ms": exc.retry_after_ms,
+                }
             response = {
                 "ok": True,
                 "satisfied": result.all_satisfied,
@@ -147,6 +183,9 @@ class _ClientHandler(socketserver.StreamRequestHandler):
                 "rounds": result.rounds,
                 "bytes_retrieved": result.total_bytes,
                 "session_bytes": session.bytes_retrieved(),
+                "degraded": result.degraded,
+                "degraded_reason": result.degraded_reason,
+                "hedged_fetches": result.hedged_fetches,
             }
             if request.get("include_data"):
                 response["data"] = {
@@ -193,21 +232,78 @@ class RetrievalServer(socketserver.ThreadingTCPServer):
 
 
 class ServiceClient:
-    """Blocking client for :class:`RetrievalServer` (one session per client)."""
+    """Blocking client for :class:`RetrievalServer` (one session per client).
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    A dropped TCP connection is re-dialed once per call and the request
+    re-issued — every op is idempotent at the protocol level (a re-run
+    ``retrieve`` returns the same bounds; a re-run ``ingest`` replaces
+    variables with identical data), though the re-dial starts a fresh
+    server-side session, so incremental per-session economics reset.
+    When the server sheds a request (``error: "overloaded"``), the
+    client honors the ``retry_after_ms`` hint: it sleeps and re-issues
+    up to ``overload_retries`` times before raising
+    :class:`OverloadedResponse`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        overload_retries: int = 0,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self.overload_retries = int(overload_retries)
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         self._rfile = self._sock.makefile("rb")
 
-    def _call(self, payload: dict) -> dict:
-        self._sock.sendall(json.dumps(payload).encode() + b"\n")
-        line = self._rfile.readline()
+    def _reconnect(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._connect()
+        self.reconnects += 1
+
+    def _send_recv(self, payload: dict) -> dict:
+        """One request/response round trip, re-dialing a dead socket once."""
+        data = json.dumps(payload).encode() + b"\n"
+        try:
+            self._sock.sendall(data)
+            line = self._rfile.readline()
+        except OSError:
+            line = b""
         if not line:
-            raise ConnectionError("server closed the connection")
-        response = json.loads(line)
-        if not response.get("ok"):
+            self._reconnect()
+            self._sock.sendall(data)
+            line = self._rfile.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _call(self, payload: dict) -> dict:
+        for attempt in range(self.overload_retries + 1):
+            response = self._send_recv(payload)
+            if response.get("ok"):
+                return response
+            if response.get("error") == "overloaded":
+                retry_after_ms = float(response.get("retry_after_ms", 50.0))
+                if attempt < self.overload_retries:
+                    time.sleep(retry_after_ms / 1000.0)
+                    continue
+                raise OverloadedResponse(
+                    retry_after_ms, response.get("reason", "overloaded")
+                )
             raise ServiceError(response.get("error", "unknown server error"))
-        return response
+        raise AssertionError("unreachable")  # loop always returns or raises
 
     def info(self) -> dict:
         """Archived variables and their metadata."""
@@ -233,19 +329,29 @@ class ServiceClient:
         qoi_range: float = 1.0,
         include_data: bool = False,
         max_rounds: int = 100,
+        priority: int = 0,
+        deadline_ms: float | None = None,
     ) -> dict:
-        """QoI-preserved retrieval; arrays are decoded when requested."""
-        response = self._call(
-            {
-                "op": "retrieve",
-                "qoi": qoi,
-                "fields": list(fields),
-                "tolerance": tolerance,
-                "qoi_range": qoi_range,
-                "include_data": include_data,
-                "max_rounds": max_rounds,
-            }
-        )
+        """QoI-preserved retrieval; arrays are decoded when requested.
+
+        ``priority`` and ``deadline_ms`` flow to the server's admission
+        control and deadline-aware rounds; a deadline-hit response has
+        ``"degraded": true`` with the best bounds achieved so far.
+        """
+        payload = {
+            "op": "retrieve",
+            "qoi": qoi,
+            "fields": list(fields),
+            "tolerance": tolerance,
+            "qoi_range": qoi_range,
+            "include_data": include_data,
+            "max_rounds": max_rounds,
+        }
+        if priority:
+            payload["priority"] = int(priority)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        response = self._call(payload)
         if "data" in response:
             response["data"] = {
                 name: decode_array(payload) for name, payload in response["data"].items()

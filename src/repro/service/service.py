@@ -24,11 +24,23 @@ cache collapses the *cross-client* redundancy that sessions alone cannot
 see.  ``ClientSession.retrieve`` is self-contained per client; the only
 state shared between threads is the lock-protected cache and the service
 counters, so sessions may run on concurrent threads.
+
+Under heavy traffic the service applies *admission control* rather than
+unbounded queueing: a bounded in-flight budget (``max_inflight``),
+per-client :class:`TokenBucket` rate limits, and per-request priorities —
+a request that cannot be admitted is shed immediately with
+:class:`OverloadedError` carrying a ``retry_after_ms`` hint, leaving no
+server-side state behind.  Admitted requests may still come back
+*degraded* (deadline hit, slow tier down — see
+:class:`~repro.core.retrieval.RetrievalResult`); every outcome —
+admitted, shed, degraded — is counted in :class:`ServiceStats`, so
+overload is always an explicit, observable contract, never a hang.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.core.assigner import DEFAULT_REDUCTION_FACTOR
@@ -45,10 +57,69 @@ from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
 from repro.storage.archive import Archive
 from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
+from repro.storage.resilience import ResilienceStats
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
 from repro.storage.tiered import TieredStore, TierStats
 from repro.storage.wal import CompactionReport, DurabilityStats
 from repro.utils.fragment_keys import timestep_variable
+
+# Fraction of the in-flight budget low-priority requests may fill: above
+# this watermark ``priority < 0`` work is shed so headroom remains for
+# normal traffic even before the budget is exhausted.
+LOW_PRIORITY_WATERMARK = 0.75
+
+# Floor on the retry-after hint handed to shed clients, so a freshly
+# started service (no latency history yet) still spreads retries out.
+MIN_RETRY_AFTER_MS = 50.0
+
+
+class OverloadedError(RuntimeError):
+    """A request was shed by admission control instead of queued.
+
+    Raised *before* any per-request state is created, so a shed request
+    leaves the service exactly as it found it.  ``retry_after_ms`` is the
+    server's backoff hint — an EWMA of recent retrieval wall time — and
+    ``reason`` says which limit fired (``"inflight"`` budget or per-client
+    ``"rate"`` bucket).
+    """
+
+    def __init__(self, reason: str, retry_after_ms: float):
+        super().__init__(f"overloaded ({reason}); retry after {retry_after_ms:.0f} ms")
+        self.reason = reason
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` either takes one token and returns ``0.0`` or takes
+    nothing and returns the seconds until a token will be available —
+    the natural ``retry_after`` hint for a shed response.  Not thread
+    safe on its own; callers serialize access (the service holds its
+    admission lock).
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self) -> float:
+        """Take one token (return 0.0) or return seconds until one exists."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
 
 
 @dataclass
@@ -70,6 +141,17 @@ class ServiceStats:
     ``executor`` carries the kernel executor's task/fallback counters
     (:class:`~repro.parallel.executor.ExecutorStats`) when the service
     runs one.
+
+    The admission-control triple makes every overload outcome visible:
+    ``requests_admitted`` / ``requests_shed`` / ``requests_degraded``
+    partition traffic into the three explicit contracts (served at full
+    tolerance, rejected with a retry hint, served with looser-but-valid
+    bounds).  ``requests_inflight`` is the instantaneous concurrency,
+    ``hedged_fetches`` counts duplicated straggler reads, and
+    ``worst_degraded_ratio`` is the largest achieved-error /
+    requested-tolerance ratio any degraded request returned (1.0 would
+    mean it met tolerance after all).  ``resilience`` carries the backing
+    store's retry/breaker counters when it is resilience-wrapped.
     """
 
     sessions_opened: int
@@ -89,6 +171,13 @@ class ServiceStats:
     compute_seconds: float = 0.0
     retrieval_rounds: int = 0
     executor: "ExecutorStats | None" = None
+    requests_admitted: int = 0
+    requests_shed: int = 0
+    requests_degraded: int = 0
+    requests_inflight: int = 0
+    hedged_fetches: int = 0
+    worst_degraded_ratio: float = 0.0
+    resilience: ResilienceStats | None = None
 
 
 class RetrievalService:
@@ -128,6 +217,19 @@ class RetrievalService:
         fragment cache is arena-backed: payloads land in shared-memory
         slabs on fetch and decode workers read them in place, so cross-
         client cache hits *and* kernel inputs are zero-copy.
+    max_inflight:
+        Bound on concurrently-executing retrievals.  ``None`` (default)
+        disables admission control entirely; with a bound, a request
+        that would exceed it is shed with :class:`OverloadedError`
+        instead of queued, and low-priority requests are shed earlier
+        (at ``LOW_PRIORITY_WATERMARK`` of the budget).
+    client_rate / client_burst:
+        Per-client :class:`TokenBucket` parameters (requests/second and
+        burst size).  ``client_rate=None`` (default) disables per-client
+        rate limiting.
+    hedge_delay_s:
+        Straggler hedging delay for every client session's fetch
+        pipeline (see :class:`~repro.core.pipeline.PipelineConfig`).
     """
 
     def __init__(
@@ -143,6 +245,10 @@ class RetrievalService:
         lazy_loading: bool = True,
         executor=None,
         workers: int | None = None,
+        max_inflight: int | None = None,
+        client_rate: float | None = None,
+        client_burst: float | None = None,
+        hedge_delay_s: float | None = None,
     ):
         from repro.parallel.executor import make_executor
 
@@ -156,7 +262,9 @@ class RetrievalService:
         self.archive = Archive(self.store)
         self.reduction_factor = float(reduction_factor)
         self.pipeline = PipelineConfig(
-            pipeline_depth=int(pipeline_depth), max_workers=int(max_workers)
+            pipeline_depth=int(pipeline_depth),
+            max_workers=int(max_workers),
+            hedge_delay_s=None if hedge_delay_s is None else float(hedge_delay_s),
         )
         self.lazy_loading = bool(lazy_loading)
         self._masks = dict(masks or {})
@@ -177,6 +285,21 @@ class RetrievalService:
         self._io_wait_seconds = 0.0
         self._compute_seconds = 0.0
         self._retrieval_rounds = 0
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.client_rate = None if client_rate is None else float(client_rate)
+        self.client_burst = (
+            max(1.0, self.client_rate)
+            if client_burst is None and self.client_rate is not None
+            else (None if client_burst is None else float(client_burst))
+        )
+        self._buckets: dict = {}  # client_id -> TokenBucket
+        self._inflight = 0
+        self._requests_admitted = 0
+        self._requests_shed = 0
+        self._requests_degraded = 0
+        self._hedged_fetches = 0
+        self._worst_degraded_ratio = 0.0
+        self._latency_ewma_s = 0.0  # recent retrieval wall time
 
     @classmethod
     def open(
@@ -325,12 +448,68 @@ class RetrievalService:
         with self._lock:
             self._sessions_active -= 1
 
-    def _record_retrieval(self, result) -> None:
-        """Fold one client retrieval's wall-time split into the counters."""
+    def _retry_after_ms(self) -> float:
+        # caller holds self._lock
+        return max(MIN_RETRY_AFTER_MS, self._latency_ewma_s * 1000.0)
+
+    def _admit(self, client_id: str, priority: int = 0) -> None:
+        """Admit one request or shed it with :class:`OverloadedError`.
+
+        Checks the per-client token bucket first (cheapest to refuse),
+        then the in-flight budget; ``priority < 0`` requests are shed
+        once the budget is ``LOW_PRIORITY_WATERMARK`` full.  On success
+        the in-flight count is taken — the caller must pair this with
+        :meth:`_release` (try/finally).  A shed request mutates nothing
+        but the shed counter.
+        """
+        with self._lock:
+            if self.client_rate is not None:
+                bucket = self._buckets.get(client_id)
+                if bucket is None:
+                    bucket = TokenBucket(self.client_rate, self.client_burst)
+                    self._buckets[client_id] = bucket
+                wait = bucket.try_acquire()
+                if wait > 0.0:
+                    self._requests_shed += 1
+                    raise OverloadedError("rate", max(MIN_RETRY_AFTER_MS, wait * 1000.0))
+            if self.max_inflight is not None:
+                budget = self.max_inflight
+                if priority < 0:
+                    budget = max(1, int(budget * LOW_PRIORITY_WATERMARK))
+                if self._inflight >= budget:
+                    self._requests_shed += 1
+                    raise OverloadedError("inflight", self._retry_after_ms())
+            self._inflight += 1
+            self._requests_admitted += 1
+
+    def _release(self) -> None:
+        """Return one admitted request's in-flight slot."""
+        with self._lock:
+            self._inflight -= 1
+
+    def _record_retrieval(self, result, tolerance_ratio: float = 0.0) -> None:
+        """Fold one client retrieval's wall-time split into the counters.
+
+        *tolerance_ratio* is the worst achieved-error / requested-
+        tolerance ratio across the request batch — meaningful (and > 1)
+        only when the result is degraded.
+        """
         with self._lock:
             self._io_wait_seconds += result.stopwatch.get("fetch")
             self._compute_seconds += result.stopwatch.get("decode")
             self._retrieval_rounds += result.rounds
+            self._hedged_fetches += getattr(result, "hedged_fetches", 0)
+            if getattr(result, "degraded", False):
+                self._requests_degraded += 1
+                self._worst_degraded_ratio = max(
+                    self._worst_degraded_ratio, float(tolerance_ratio)
+                )
+            wall = result.stopwatch.total()
+            if wall > 0.0:
+                if self._latency_ewma_s == 0.0:
+                    self._latency_ewma_s = wall
+                else:
+                    self._latency_ewma_s += 0.2 * (wall - self._latency_ewma_s)
 
     def compact(self) -> CompactionReport:
         """Compact the backing store's commit log, reclaiming dead bytes.
@@ -357,6 +536,8 @@ class RetrievalService:
         tiers: TierStats | None = None
         if isinstance(self._inner, TieredStore):
             tiers = self._inner.stats()
+        resilience_of = getattr(self._inner, "resilience", None)
+        resilience = resilience_of() if callable(resilience_of) else None
         with self._lock:
             return ServiceStats(
                 sessions_opened=self._sessions_opened,
@@ -378,6 +559,13 @@ class RetrievalService:
                 executor=(
                     self.executor.stats() if self.executor is not None else None
                 ),
+                requests_admitted=self._requests_admitted,
+                requests_shed=self._requests_shed,
+                requests_degraded=self._requests_degraded,
+                requests_inflight=self._inflight,
+                hedged_fetches=self._hedged_fetches,
+                worst_degraded_ratio=self._worst_degraded_ratio,
+                resilience=resilience,
             )
 
 
@@ -401,6 +589,7 @@ class ClientSession:
             reduction_factor=service.reduction_factor,
             pipeline_depth=service.pipeline.pipeline_depth,
             max_workers=service.pipeline.max_workers,
+            hedge_delay_s=service.pipeline.hedge_delay_s,
             executor=service.executor,
         )
         self._session = RetrievalSession(self._retriever)
@@ -428,16 +617,46 @@ class ClientSession:
                 self._session.reset_variable(name)
             self._generations[name] = generation
 
-    def retrieve(self, requests, max_rounds: int = 100) -> RetrievalResult:
-        """Run the QoI-preserved retrieval loop for this client."""
+    def retrieve(
+        self,
+        requests,
+        max_rounds: int = 100,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+    ) -> RetrievalResult:
+        """Run the QoI-preserved retrieval loop for this client.
+
+        The request first passes the service's admission control
+        (:meth:`RetrievalService._admit`) — it may be shed with
+        :class:`OverloadedError` before touching any session state.
+        ``priority < 0`` marks the request sheddable-first;
+        ``deadline_ms`` bounds the retrieval's wall time, after which the
+        best bounds achieved so far are returned with
+        ``result.degraded`` set (see
+        :meth:`~repro.core.retrieval.RetrievalSession.retrieve`).
+        """
         if self._closed:
             raise RuntimeError(f"session {self.client_id!r} is closed")
         requests = list(requests)
         if not requests:
             raise ValueError("at least one QoIRequest is required")
-        self._ensure_variables(requests)
-        result = self._session.retrieve(requests, max_rounds=max_rounds)
-        self._service._record_retrieval(result)
+        self._service._admit(self.client_id, priority=priority)
+        try:
+            self._ensure_variables(requests)
+            result = self._session.retrieve(
+                requests,
+                max_rounds=max_rounds,
+                deadline_s=None if deadline_ms is None else float(deadline_ms) / 1000.0,
+            )
+        finally:
+            self._service._release()
+        ratio = 0.0
+        if result.degraded:
+            for req in requests:
+                est = result.estimated_errors.get(req.name)
+                if est is not None and req.absolute_tolerance > 0:
+                    ratio = max(ratio, float(est) / req.absolute_tolerance)
+        self._service._record_retrieval(result, tolerance_ratio=ratio)
         return result
 
     def bytes_retrieved(self, variable: str | None = None) -> int:

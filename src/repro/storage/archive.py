@@ -152,6 +152,18 @@ class FragmentSource:
                 if s not in self._seen and s not in self._pending
             ]
 
+    def unarrived(self, segments) -> list:
+        """The subset of *segments* not yet arrived, claimed or not.
+
+        Where :meth:`missing` excludes segments an in-flight batch has
+        claimed (dedup for cooperating prefetches), this keeps them — it
+        is the planning view of a *hedged* fetch, which deliberately
+        duplicates a straggling batch's reads rather than queueing
+        behind it.
+        """
+        with self._lock:
+            return [s for s in segments if s not in self._seen]
+
     def claim(self, segments) -> list:
         """Atomically claim the fetchable subset of *segments*.
 

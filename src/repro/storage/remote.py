@@ -38,7 +38,7 @@ from urllib.parse import parse_qs, quote, unquote, urlparse
 
 from dataclasses import asdict
 
-from repro.storage.store import FragmentStore, split_store_url
+from repro.storage.store import FragmentStore, _split_query, split_store_url
 from repro.storage.wal import CompactionReport, DurabilityStats
 
 #: URL path prefix of the fragment protocol (versioned for evolution).
@@ -358,7 +358,13 @@ class HTTPFragmentStore(FragmentStore):
     archive.  ``get`` costs one request, :meth:`get_many` moves a whole
     batch in **one** request via the ``/batch`` endpoint.  Connections
     are per-thread and kept alive, so concurrent retrieval sessions don't
-    serialize on a shared socket.
+    serialize on a shared socket; a stale keep-alive (server restarted,
+    idle socket reaped) is re-dialed transparently exactly once per
+    request and counted in ``reconnects``.  Anything beyond that single
+    re-dial is the retry layer's job: wrap the client in a
+    :class:`~repro.storage.resilience.ResilientStore` (or pass
+    ``retries=``/``breaker=`` URL parameters to :meth:`from_url`) for
+    backoff and circuit breaking.
 
     Parameters
     ----------
@@ -374,19 +380,39 @@ class HTTPFragmentStore(FragmentStore):
         self.port = int(port)
         self.timeout = float(timeout)
         self._local = threading.local()
+        #: Stale keep-alive connections transparently re-dialed.
+        self.reconnects = 0
         self.refresh()
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 30.0) -> "HTTPFragmentStore":
-        """Open from an ``http://host:port`` URL (no path component)."""
+    def from_url(cls, url: str, timeout: float = 30.0) -> FragmentStore:
+        """Open from an ``http://host:port[?...]`` URL (no path component).
+
+        Query parameters: ``timeout`` (seconds) plus the resilience keys
+        of :func:`~repro.storage.resilience.policy_from_params`
+        (``retries``/``retry_base``/``retry_max``/``breaker``/
+        ``cooldown``) — when any of those are present the client comes
+        back wrapped in a
+        :class:`~repro.storage.resilience.ResilientStore`.
+        """
+        from repro.storage.resilience import ResilientStore, policy_from_params
+
         scheme, rest = split_store_url(url)
         if scheme != "http":
             raise ValueError(f"not an http:// store URL: {url!r}")
+        rest, params = _split_query(rest)
         netloc = rest.split("/", 1)[0]
         host, sep, port = netloc.rpartition(":")
         if not sep or not port.isdigit():
             raise ValueError(f"http:// store URL needs host:port, got {url!r}")
-        return cls(host, int(port), timeout=timeout)
+        timeout = float(params.get("timeout", timeout))
+        store = cls(host, int(port), timeout=timeout)
+        retry, breaker = policy_from_params(params)
+        if retry is None and breaker is None:
+            return store
+        if breaker is not None:
+            breaker.name = f"http://{host}:{port}"
+        return ResilientStore(store, retry=retry, breaker=breaker)
 
     # -- wire -----------------------------------------------------------------
 
@@ -411,6 +437,8 @@ class HTTPFragmentStore(FragmentStore):
                 self._local.conn = None
                 if attempt:
                     raise
+                with self._stats_lock:
+                    self.reconnects += 1
         raise AssertionError("unreachable")
 
     @staticmethod

@@ -36,6 +36,14 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, replace
 
+from repro.storage.resilience import (
+    CircuitOpenError,
+    DegradedError,
+    ResilienceStats,
+    ResilientStore,
+    is_transient,
+    policy_from_params,
+)
 from repro.storage.store import (
     FragmentStore,
     open_store,
@@ -87,6 +95,9 @@ class TierStats:
     fast_budget_bytes: int = 0
     dirty_fragments: int = 0
     transfer_cycles: int = 0
+    #: Read batches answered partially/not at all because the slow tier
+    #: was unavailable (each raised a typed ``DegradedError``).
+    degraded_batches: int = 0
 
 
 class TieredStore(FragmentStore):
@@ -191,7 +202,12 @@ class TieredStore(FragmentStore):
         ``interval=`` (seconds; ``start=1`` launches the background
         thread immediately), ``fsync=`` (WAL discipline of the fast-tier
         directory), and ``compact_dead=`` (dead-byte threshold of
-        background compaction; ``0`` disables it).
+        background compaction; ``0`` disables it).  The resilience keys
+        of :func:`~repro.storage.resilience.policy_from_params`
+        (``retries``/``retry_base``/``retry_max``/``breaker``/
+        ``cooldown``) wrap the **slow tier** in a
+        :class:`~repro.storage.resilience.ResilientStore`, enabling
+        degraded reads while that backend is down.
         """
         scheme, rest = split_store_url(url)
         if scheme != "tiered":
@@ -200,6 +216,11 @@ class TieredStore(FragmentStore):
         if "slow" not in params:
             raise ValueError(f"tiered:// URL needs a slow= backend: {url!r}")
         slow = open_store(params["slow"])
+        retry, breaker = policy_from_params(params)
+        if retry is not None or breaker is not None:
+            if breaker is not None:
+                breaker.name = params["slow"]
+            slow = ResilientStore(slow, retry=retry, breaker=breaker)
         if "fast" in params:
             fast = open_store(params["fast"])
         elif path:
@@ -229,6 +250,22 @@ class TieredStore(FragmentStore):
 
     # -- reads -----------------------------------------------------------------
 
+    def _degrade(self, keys, exc: BaseException) -> None:
+        """Convert a slow-tier outage into a typed :class:`DegradedError`.
+
+        Transient backend failures (exhausted retries, timeouts) and an
+        open circuit breaker become a ``DegradedError`` naming exactly
+        the *keys* the fast tier could not cover — the caller knows what
+        it *did* get served and what is temporarily unavailable.
+        Permanent errors (``KeyError`` for unarchived fragments) return
+        unchanged so the caller's ``raise`` surfaces them as-is.
+        """
+        if not (is_transient(exc) or isinstance(exc, CircuitOpenError)):
+            return
+        with self._tier_lock:
+            self._tstats.degraded_batches += 1
+        raise DegradedError(keys, reason=f"slow tier unavailable: {exc}") from exc
+
     def _note_fast(self, keys, nbytes: int) -> None:
         with self._tier_lock:
             self._tick += 1
@@ -252,7 +289,12 @@ class TieredStore(FragmentStore):
             self._tstats.slow_bytes_served += nbytes
 
     def get(self, variable: str, segment: str) -> bytes:
-        """Serve one fragment, fast tier first."""
+        """Serve one fragment, fast tier first.
+
+        Fast residents keep flowing even while the slow tier is down; a
+        fragment only the slow tier holds raises :class:`DegradedError`
+        (see :meth:`_degrade`) instead of the raw backend error.
+        """
         key = (variable, segment)
         if key not in self._sizes:
             raise KeyError(key)
@@ -265,7 +307,11 @@ class TieredStore(FragmentStore):
         if payload is not None:
             self._note_fast([key], len(payload))
         else:
-            payload = self.slow.get(variable, segment)
+            try:
+                payload = self.slow.get(variable, segment)
+            except Exception as exc:
+                self._degrade([key], exc)
+                raise
             self._note_slow([key], len(payload))
         with self._stats_lock:
             self.round_trips += 1
@@ -274,7 +320,14 @@ class TieredStore(FragmentStore):
 
     def get_many(self, keys) -> dict:
         """Serve a batch: fast residents locally, all misses in one
-        coalesced slow-tier round trip."""
+        coalesced slow-tier round trip.
+
+        While the slow tier is unavailable (transient failure after
+        retries, or its circuit breaker open), batches fully covered by
+        the fast tier still succeed — *degraded mode*; batches needing
+        the slow tier raise :class:`DegradedError` naming exactly the
+        keys that could not be served.
+        """
         keys = list(dict.fromkeys((v, s) for v, s in keys))
         missing = [k for k in keys if k not in self._sizes]
         if missing:
@@ -294,7 +347,11 @@ class TieredStore(FragmentStore):
             else:
                 self._note_fast(fast_keys, sum(len(out[k]) for k in fast_keys))
         if slow_keys:
-            served = self.slow.get_many(slow_keys)
+            try:
+                served = self.slow.get_many(slow_keys)
+            except Exception as exc:
+                self._degrade(slow_keys, exc)
+                raise
             out.update(served)
             self._note_slow(slow_keys, sum(len(p) for p in served.values()))
         with self._stats_lock:
@@ -611,6 +668,18 @@ class TieredStore(FragmentStore):
                 dirty_fragments=len(self._dirty),
             )
         return snapshot
+
+    def resilience(self) -> "ResilienceStats":
+        """Retry/breaker counters of the slow tier's resilience wrapper.
+
+        All-zero (closed breaker, no retries) when the slow tier is not
+        wrapped in a :class:`~repro.storage.resilience.ResilientStore` —
+        the shape stays stable so stats consumers need no branching.
+        """
+        resilience = getattr(self.slow, "resilience", None)
+        if resilience is None:
+            return ResilienceStats()
+        return resilience()
 
     def resident(self, variable: str, segment: str) -> bool:
         """Whether a fragment currently lives in the fast tier."""

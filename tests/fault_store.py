@@ -15,8 +15,12 @@ Two independent instruments:
 * :class:`FaultyFragmentStore` — a wrapping store misbehaving on
   command, for layers *above* the WAL: die after N mutating operations
   (``fail_after``), tear the failing batch by writing only a prefix of
-  it (``torn_writes``), or truncate read payloads (``short_reads``)
-  the way a half-transferred object does.
+  it (``torn_writes``), truncate read payloads (``short_reads``) the
+  way a half-transferred object does, fail the next N reads
+  *transiently* (``fail_next`` — raises
+  :class:`~repro.storage.resilience.FaultStoreError`, the retryable
+  kind, then recovers), drop reads at a seeded ``fault_rate``, or add
+  ``latency_s`` of per-read delay (straggler/hedging experiments).
 
 Both are deterministic: the same schedule produces the same failure,
 which is what lets hypothesis shrink a failing crash schedule to its
@@ -26,8 +30,11 @@ minimal counterexample.
 from __future__ import annotations
 
 import contextlib
+import random
+import time
 
 from repro.storage import wal
+from repro.storage.resilience import FaultStoreError
 from repro.storage.store import FragmentStore
 
 
@@ -123,6 +130,14 @@ class FaultyFragmentStore(FragmentStore):
         Truncate every ``get``/``get_many`` payload to this many bytes,
         modelling a half-transferred object; decode layers must detect
         the damage rather than return wrong data.
+    fault_rate:
+        Probability (seeded via *seed*) that any read raises
+        :class:`~repro.storage.resilience.FaultStoreError` — the
+        *transient* failure the resilience layer retries; the next
+        attempt sees a healthy store.
+    latency_s:
+        Sleep this long before serving each read — a uniformly slow
+        backend for deadline and straggler-hedging tests.
     """
 
     def __init__(
@@ -131,14 +146,47 @@ class FaultyFragmentStore(FragmentStore):
         fail_after: int | None = None,
         torn_writes: bool = False,
         short_reads: int | None = None,
+        fault_rate: float = 0.0,
+        seed: int = 0,
+        latency_s: float = 0.0,
     ):
         super().__init__()
         self.inner = inner
         self.fail_after = fail_after
         self.torn_writes = bool(torn_writes)
         self.short_reads = short_reads
+        self.fault_rate = float(fault_rate)
+        self.latency_s = float(latency_s)
+        self._rng = random.Random(seed)
         #: Mutating operations the wrapper has let through.
         self.mutations = 0
+        #: Transient faults raised (``fail_next`` plus ``fault_rate``).
+        self.transient_faults = 0
+        self._fail_next = 0
+
+    def fail_next(self, count: int) -> None:
+        """Make the next *count* reads fail transiently, then recover.
+
+        Each failing read raises
+        :class:`~repro.storage.resilience.FaultStoreError` (a
+        ``ConnectionError``, so the retry taxonomy classes it
+        transient); read ``count + 1`` succeeds — the deterministic
+        shape for asserting "a retry policy with enough attempts
+        absorbs this, one with fewer does not".
+        """
+        self._fail_next = int(count)
+
+    def _flake(self) -> None:
+        """Raise the transient fault if one is scheduled or drawn."""
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            self.transient_faults += 1
+            raise FaultStoreError("injected transient fault (fail_next)")
+        if self.fault_rate > 0.0 and self._rng.random() < self.fault_rate:
+            self.transient_faults += 1
+            raise FaultStoreError("injected transient fault (fault_rate)")
 
     def _spend(self, batch=None) -> None:
         """Consume one mutation from the budget; die when exhausted."""
@@ -173,11 +221,13 @@ class FaultyFragmentStore(FragmentStore):
         self.inner.delete(variable, segment)
 
     def get(self, variable: str, segment: str) -> bytes:
-        """Read one fragment, truncated when ``short_reads`` is set."""
+        """Read one fragment (transient faults and truncation apply)."""
+        self._flake()
         return self._maim(self.inner.get(variable, segment))
 
     def get_many(self, keys) -> dict:
-        """Read a batch, each payload truncated when ``short_reads`` is set."""
+        """Read a batch (transient faults and truncation apply)."""
+        self._flake()
         return {k: self._maim(p) for k, p in self.inner.get_many(keys).items()}
 
     def has(self, variable: str, segment: str) -> bool:
