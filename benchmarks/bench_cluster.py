@@ -1,0 +1,357 @@
+#!/usr/bin/env python
+"""Cluster fabric bench: node-count ladder, concurrent clients, chaos row.
+
+Two questions, measured end to end:
+
+* **scale-out ladder** — the same fragment set served by a
+  :class:`ClusterFragmentStore` over 1, 2, and 4 capacity-bound nodes
+  (each node a single service channel with a latency + bandwidth cost
+  model, so aggregate read capacity is bound by node count).  A pool of
+  concurrent clients issues batched ``get_many`` reads for a fixed
+  window; the row records aggregate throughput and p50/p99 batch
+  latency.  The contract: aggregate throughput **rises** with node
+  count and p99 stays bounded (no queueing collapse behind one node).
+* **chaos row** — a 3-node K=2 cluster over *real* HTTP fragment
+  servers, retrieving through :class:`RetrievalService`.  One node is
+  hard-killed mid-session (between tolerance rungs, with its in-flight
+  keep-alive connections failing too).  The tolerance ladder must be
+  **bit-identical** to a single-store baseline with *zero*
+  client-visible errors — replica failover absorbs the death.
+
+Results append to ``BENCH_cluster.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick]
+
+``--quick`` shrinks the fragment set and the load window (~seconds
+total) and is what CI runs; full runs are the numbers quoted in
+docs/cluster.md and docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import make_refactorer  # noqa: E402
+from repro.core.qois import qoi_from_spec  # noqa: E402
+from repro.core.retrieval import QoIRequest, refactor_dataset  # noqa: E402
+from repro.service.service import RetrievalService  # noqa: E402
+from repro.storage.archive import Archive  # noqa: E402
+from repro.storage.cluster import ClusterFragmentStore  # noqa: E402
+from repro.storage.remote import HTTPFragmentServer  # noqa: E402
+from repro.storage.store import FragmentStore, open_store  # noqa: E402
+from repro.storage.transfer import LatencyFragmentStore  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_cluster.json"
+
+NODE_COUNTS = (1, 2, 4)
+REPLICAS = 2
+BATCH_KEYS = 16
+NODE_LATENCY_S = 0.001  # per round trip, per node
+NODE_BANDWIDTH = 64e6  # bytes/s per node: the capacity being scaled out
+
+
+class SingleChannelStore(LatencyFragmentStore):
+    """A latency-backed node that serves one request at a time.
+
+    :class:`LatencyFragmentStore` sleeps in the calling thread, so
+    concurrent clients overlap their waits freely — that models the
+    *link*, not the node.  Here the sleep runs under a per-node lock:
+    one service channel, like a single-threaded server draining a
+    request queue.  Aggregate read capacity is then proportional to
+    node count, which is exactly what the ladder measures.
+    """
+
+    def __init__(self):
+        super().__init__(
+            FragmentStore(), latency=NODE_LATENCY_S, bandwidth=NODE_BANDWIDTH
+        )
+        self._busy = threading.Lock()
+
+    def _charge(self, nbytes: int) -> None:
+        with self._busy:
+            super()._charge(nbytes)
+
+
+class _DeadStore(FragmentStore):
+    """A backend that fails every data operation (node down)."""
+
+    def _down(self, *a, **k):
+        raise ConnectionError("node killed")
+
+    get = get_many = put = put_many = transact = _down
+    compact = durability = _down
+
+
+def kill_server(server: HTTPFragmentServer) -> None:
+    """Hard-kill a running fragment server.
+
+    ``stop()`` alone closes the listener but leaves established
+    keep-alive handler threads serving — a graceful drain, not a death.
+    Swapping the handler's inner store for one that errors makes every
+    in-flight connection fail too, so clients see exactly what a
+    SIGKILLed node produces: dead sockets and refused re-dials.
+    """
+    server._httpd.inner = _DeadStore()
+    server._httpd.handle_error = lambda *a: None  # silence expected stderr
+    server.stop()
+
+
+def cluster_url(servers) -> str:
+    nodes = ",".join("%s:%d" % server.address for server in servers)
+    return (
+        f"cluster://{nodes}?replicas={REPLICAS}&vnodes=64"
+        f"&retries=2&retry_base=0.0&breaker=3&cooldown=30"
+    )
+
+
+# ---------------------------------------------------------------------------
+# scale-out ladder
+# ---------------------------------------------------------------------------
+
+
+def _make_payloads(quick):
+    count, size = (64, 8 << 10) if quick else (192, 32 << 10)
+    rng = np.random.default_rng(17)
+    return {(f"v{i % 4}", f"s{i}"): rng.bytes(size) for i in range(count)}
+
+
+def _drive_clients(cluster, keys, clients, window_s):
+    """Closed-loop batched readers; returns per-batch latencies + wall time."""
+    latencies = []
+    lock = threading.Lock()
+    deadline = time.perf_counter() + window_s
+
+    def client(index):
+        rng = np.random.default_rng(100 + index)
+        local = []
+        while time.perf_counter() < deadline:
+            picks = rng.choice(len(keys), size=BATCH_KEYS, replace=False)
+            batch = [keys[int(j)] for j in picks]
+            t0 = time.perf_counter()
+            got = cluster.get_many(batch)
+            local.append(time.perf_counter() - t0)
+            if len(got) != BATCH_KEYS:
+                raise AssertionError("short read under load")
+        with lock:
+            latencies.extend(local)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, time.perf_counter() - start
+
+
+def bench_ladder(quick):
+    """Same data, same clients, 1/2/4 capacity-bound nodes."""
+    payloads = _make_payloads(quick)
+    items = [(v, s, p) for (v, s), p in payloads.items()]
+    keys = sorted(payloads)
+    batch_bytes = BATCH_KEYS * len(next(iter(payloads.values())))
+    clients = 4 if quick else 8
+    window_s = 1.0 if quick else 3.0
+
+    rows = []
+    for n in NODE_COUNTS:
+        cluster = ClusterFragmentStore(
+            [SingleChannelStore() for _ in range(n)],
+            replicas=REPLICAS,
+            vnodes=64,
+        )
+        cluster.put_many(items)
+        latencies, elapsed = _drive_clients(cluster, keys, clients, window_s)
+        cluster.close()
+        latencies.sort()
+        batches = len(latencies)
+        row = {
+            "nodes": n,
+            "replicas": min(REPLICAS, n),
+            "clients": clients,
+            "fragments": len(keys),
+            "batch_keys": BATCH_KEYS,
+            "batches": batches,
+            "aggregate_batches_per_s": batches / elapsed,
+            "aggregate_mb_per_s": batches * batch_bytes / elapsed / 1e6,
+            "p50_ms": 1000.0 * latencies[batches // 2],
+            "p99_ms": 1000.0
+            * latencies[min(batches - 1, int(batches * 0.99))],
+        }
+        rows.append(row)
+        print(
+            f"[{n} node{'s' if n > 1 else ''}] "
+            f"{row['aggregate_batches_per_s']:.0f} batches/s "
+            f"({row['aggregate_mb_per_s']:.1f} MB/s), "
+            f"p50 {row['p50_ms']:.1f} ms, p99 {row['p99_ms']:.1f} ms",
+            flush=True,
+        )
+
+    # the fabric's headline contracts, asserted on every run
+    if rows[-1]["aggregate_batches_per_s"] <= 1.2 * rows[0]["aggregate_batches_per_s"]:
+        raise AssertionError("4 nodes did not out-serve 1 node: fabric not scaling")
+    for prev, nxt in zip(rows, rows[1:]):
+        if nxt["aggregate_batches_per_s"] < 0.9 * prev["aggregate_batches_per_s"]:
+            raise AssertionError(
+                f"throughput fell {prev['nodes']}→{nxt['nodes']} nodes"
+            )
+    for row in rows:
+        if row["p99_ms"] > 15.0 * row["p50_ms"]:
+            raise AssertionError(f"p99 unbounded at {row['nodes']} node(s)")
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# chaos row: kill one of three HTTP nodes mid-retrieval
+# ---------------------------------------------------------------------------
+
+
+def _build_archive(quick):
+    n = 600 if quick else 2400
+    rng = np.random.default_rng(5)
+    t = np.linspace(0, 8, n)
+    fields = {
+        "vx": 60 * np.sin(t) + rng.normal(size=n),
+        "vy": 30 * np.cos(t) + rng.normal(size=n),
+        "vz": 10 * np.sin(2 * t) + rng.normal(size=n),
+    }
+    refactored = refactor_dataset(fields, make_refactorer("pmgard_hb", num_planes=32))
+    ranges = {k: float(np.ptp(v)) for k, v in fields.items()}
+    qoi = qoi_from_spec("vtot", sorted(fields))
+    env = {k: (v, 0.0) for k, v in fields.items()}
+    return refactored, ranges, qoi, float(np.ptp(qoi.value(env)))
+
+
+def _run_ladder(store, ranges, qoi, qoi_range, tolerances, kill=None):
+    """One session's tolerance ladder; *kill* fires before the last rung."""
+    service = RetrievalService(store, value_ranges=ranges)
+    results = []
+    try:
+        with service.open_session("chaos-ladder") as session:
+            for i, tol in enumerate(tolerances):
+                if kill is not None and i == len(tolerances) - 1:
+                    kill()
+                results.append(
+                    session.retrieve([QoIRequest("vtot", qoi, tol, qoi_range)])
+                )
+    finally:
+        service.close()
+    return results
+
+
+def bench_chaos(quick, victim=1):
+    """3 nodes, K=2, one node SIGKILLed between rungs: bit-identical."""
+    refactored, ranges, qoi, qoi_range = _build_archive(quick)
+    tolerances = (1e-2, 1e-4)
+
+    baseline_store = FragmentStore()
+    Archive(baseline_store).save_dataset(refactored)
+    clean = _run_ladder(baseline_store, ranges, qoi, qoi_range, tolerances)
+
+    servers = [HTTPFragmentServer(FragmentStore()).start() for _ in range(3)]
+    try:
+        store = open_store(cluster_url(servers))
+        Archive(store).save_dataset(refactored)
+        chaos = _run_ladder(
+            store, ranges, qoi, qoi_range, tolerances,
+            kill=lambda: kill_server(servers[victim]),
+        )
+        for a, b in zip(chaos, clean):
+            if a.total_bytes != b.total_bytes:
+                raise AssertionError("chaos ladder: retrieved bytes diverged")
+            if a.estimated_errors != b.estimated_errors:
+                raise AssertionError("chaos ladder: achieved bounds diverged")
+            for name, data in b.data.items():
+                if not np.array_equal(a.data[name], data):
+                    raise AssertionError(f"chaos ladder: {name} diverged")
+        stats = store.stats()
+        if stats.failovers == 0:
+            raise AssertionError("node died but nothing failed over")
+        row = {
+            "nodes": 3,
+            "replicas": REPLICAS,
+            "victim": victim,
+            "failovers": stats.failovers,
+            "victim_failovers": stats.per_node[f"node{victim}"].failovers,
+            "client_visible_errors": 0,
+            "identical": True,
+            "ladder": [
+                {
+                    "tolerance": tol,
+                    "bytes": result.total_bytes,
+                    "estimated_error": result.estimated_errors["vtot"],
+                }
+                for tol, result in zip(tolerances, chaos)
+            ],
+        }
+        store.close()
+    finally:
+        for server in servers:
+            if server._thread is not None:
+                server.stop()
+    print(
+        f"[chaos] killed node {victim} of 3 mid-session: "
+        f"{row['failovers']} fragment(s) failed over, 0 visible errors, "
+        "bit-identical",
+        flush=True,
+    )
+    return row
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny sizes (CI smoke)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="JSON trajectory file")
+    args = parser.parse_args(argv)
+
+    metrics = {
+        "ladder": bench_ladder(args.quick),
+        "chaos": bench_chaos(args.quick),
+    }
+
+    run = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git": _git_rev(),
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "metrics": metrics,
+    }
+    doc = {"schema": 1, "runs": []}
+    if args.out.exists():
+        try:
+            doc = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            pass
+    doc.setdefault("runs", []).append(run)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"trajectory appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

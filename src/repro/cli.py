@@ -49,8 +49,10 @@ archive back to exactly a snapshot's contents (see docs/durability.md).
 Everywhere a command takes ``--archive`` (or ``archive --out``), it
 accepts either a directory path or a store URL — ``file://``,
 ``sharded://``, ``memory://``, ``http://host:port`` (a running
-``HTTPFragmentServer``), or ``tiered://fast?slow=...`` (the tiered
-fabric; see ``docs/storage.md`` for the grammar).
+``HTTPFragmentServer``), ``tiered://fast?slow=...`` (the tiered
+fabric), or ``cluster://host:port,host:port?replicas=2`` (the scale-out
+fabric; see ``docs/storage.md`` and ``docs/cluster.md`` for the
+grammars).
 
 QoI specs: ``identity`` (1 field), ``vtot`` (3 fields), ``temperature``
 (pressure, density), ``mach`` (5 fields), ``product`` (>= 2 fields).
@@ -87,6 +89,7 @@ from repro.storage.store import (
     parse_bytes,
     split_store_url,
 )
+from repro.storage.cluster import ClusterFragmentStore
 from repro.storage.tiered import TieredStore
 
 #: Kept as the public CLI name for the shared spec parser.
@@ -297,6 +300,26 @@ def _print_tier_stats(tiers: dict) -> None:
           f"{tiers['transfer_cycles']} transfer cycle(s)")
 
 
+def _print_cluster_stats(cluster: dict) -> None:
+    """Print one cluster backend's aggregate and per-node counter block."""
+    print(f"cluster: {cluster['nodes']} node(s), "
+          f"replicas={cluster['replicas']}, vnodes={cluster['vnodes']}"
+          f"{' (rebalancing)' if cluster.get('rebalancing') else ''}")
+    print(f"  failovers: {cluster['failovers']} read(s), "
+          f"{cluster['write_failovers']} write(s); "
+          f"rebalance: {cluster['rebalances']} pass(es), "
+          f"{cluster['rebalanced_fragments']} fragment(s) "
+          f"({cluster['rebalanced_bytes']} B) moved")
+    for name in sorted(cluster.get("per_node", {})):
+        node = cluster["per_node"][name]
+        flags = " [breaker open]" if node.get("breaker_is_open") else ""
+        print(f"  {name} ({node['url']}): {node['requests']} request(s), "
+              f"{node['fragments_served']} served ({node['bytes_read']} B), "
+              f"{node['puts']} put(s) ({node['bytes_written']} B), "
+              f"{node['failovers']} failover(s), "
+              f"{node['rebalanced_in']} rebalanced in{flags}")
+
+
 def _print_durability(d: dict) -> None:
     """Print the WAL durability counter block of ``repro stats``."""
     print(f"durability: {d['wal_commits']} WAL commit(s) "
@@ -320,12 +343,12 @@ def _cmd_stats(args) -> int:
         for name in variables:
             print(f"    {name}: {len(store.segments(name))} segment(s), "
                   f"{store.nbytes(name)} B")
-        if isinstance(store, TieredStore):
-            from dataclasses import asdict
-
-            _print_tier_stats(asdict(store.stats()))
         from dataclasses import asdict
 
+        if isinstance(store, TieredStore):
+            _print_tier_stats(asdict(store.stats()))
+        if isinstance(store, ClusterFragmentStore):
+            _print_cluster_stats(asdict(store.stats()))
         _print_durability(asdict(store.durability()))
         store.close()
         return 0
@@ -391,6 +414,8 @@ def _cmd_stats(args) -> int:
               f"{resilience['breaker_rejections']} rejection(s))")
     if stats.get("tiers"):
         _print_tier_stats(stats["tiers"])
+    if stats.get("cluster"):
+        _print_cluster_stats(stats["cluster"])
     if stats.get("durability"):
         _print_durability(stats["durability"])
     return 0
@@ -403,6 +428,8 @@ def _cmd_serve(args) -> int:
     store = wrap_with_resilience(store, *_resilience_from_args(args))
     if isinstance(store, TieredStore):
         store.start_transfer()
+    if isinstance(store, ClusterFragmentStore):
+        store.start_rebalancer()
     service = RetrievalService(
         store,
         cache_bytes=int(args.cache_mb) << 20,
@@ -434,7 +461,7 @@ def _cmd_serve(args) -> int:
         if metrics is not None:
             metrics.stop()
         server.server_close()
-        service.close()  # stops a tiered backend's transfer thread
+        service.close()  # stops tiered transfer / cluster rebalance threads
     return 0
 
 

@@ -56,6 +56,7 @@ from repro.core.pipeline import DEFAULT_MAX_WORKERS, DEFAULT_PIPELINE_DEPTH, Pip
 from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
 from repro.storage.archive import Archive
 from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
+from repro.storage.cluster import ClusterFragmentStore, ClusterStats
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
 from repro.storage.resilience import ResilienceStats
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
@@ -151,7 +152,12 @@ class ServiceStats:
     ``worst_degraded_ratio`` is the largest achieved-error /
     requested-tolerance ratio any degraded request returned (1.0 would
     mean it met tolerance after all).  ``resilience`` carries the backing
-    store's retry/breaker counters when it is resilience-wrapped.
+    store's retry/breaker counters when it is resilience-wrapped — for a
+    cluster backend these are the per-node wrappers *merged*, so a
+    single dead node still flips ``breaker_is_open``.  ``cluster``
+    carries the scale-out fabric's aggregate and per-node counters
+    (requests, bytes, failovers, rebalanced fragments) when the backing
+    store is a :class:`~repro.storage.cluster.ClusterFragmentStore`.
     """
 
     sessions_opened: int
@@ -178,6 +184,7 @@ class ServiceStats:
     hedged_fetches: int = 0
     worst_degraded_ratio: float = 0.0
     resilience: ResilienceStats | None = None
+    cluster: ClusterStats | None = None
 
 
 class RetrievalService:
@@ -310,9 +317,11 @@ class RetrievalService:
         *archive_dir* accepts everything :func:`open_store` does —
         a plain directory (``sharded=None`` auto-detects the layout from
         the persisted index a :class:`ShardedDiskStore` leaves behind)
-        or a ``file://``/``sharded://``/``http://``/``tiered://`` URL.
-        A tiered backend's transfer thread is started so promotion runs
-        for the life of the service.
+        or a ``file://``/``sharded://``/``http://``/``tiered://``/
+        ``cluster://`` URL.  A tiered backend's transfer thread is
+        started so promotion runs for the life of the service; a cluster
+        backend's rebalancer thread likewise, so membership changes
+        migrate in the background.
         """
         if sharded is None:
             store = open_store(archive_dir)
@@ -322,6 +331,8 @@ class RetrievalService:
             store = DiskFragmentStore(archive_dir)
         if isinstance(store, TieredStore):
             store.start_transfer()
+        if isinstance(store, ClusterFragmentStore):
+            store.start_rebalancer()
         return cls(store, **kwargs)
 
     def variables(self) -> list:
@@ -532,10 +543,13 @@ class RetrievalService:
         self._inner.close()
 
     def stats(self) -> ServiceStats:
-        """Snapshot of session, store, cache, and (if tiered) tier accounting."""
+        """Snapshot of session, store, cache, tier, and cluster accounting."""
         tiers: TierStats | None = None
         if isinstance(self._inner, TieredStore):
             tiers = self._inner.stats()
+        cluster: ClusterStats | None = None
+        if isinstance(self._inner, ClusterFragmentStore):
+            cluster = self._inner.stats()
         resilience_of = getattr(self._inner, "resilience", None)
         resilience = resilience_of() if callable(resilience_of) else None
         with self._lock:
@@ -566,6 +580,7 @@ class RetrievalService:
                 hedged_fetches=self._hedged_fetches,
                 worst_degraded_ratio=self._worst_degraded_ratio,
                 resilience=resilience,
+                cluster=cluster,
             )
 
 

@@ -3,10 +3,15 @@
 * :mod:`repro.storage.store` — local fragment stores (in-memory /
   on-disk / sharded) with byte accounting, plus :func:`open_store`, the
   URL entry point over every backend (``file://``, ``sharded://``,
-  ``memory://``, ``http://``, ``tiered://``).
+  ``memory://``, ``http://``, ``tiered://``, ``cluster://``).
 * :mod:`repro.storage.remote` — the remote tier: in-process HTTP
   object-store server/client with a coalesced batch endpoint, and the
   key-value adapter for S3-style buckets.
+* :mod:`repro.storage.cluster` — the scale-out fabric: one namespace
+  consistent-hash sharded and K-way replicated over N fragment servers,
+  with per-node circuit breakers, transparent read failover, and a
+  background rebalancer for membership changes.  See
+  ``docs/cluster.md``.
 * :mod:`repro.storage.tiered` — the tiered fabric: fast tier over slow
   tier with write-through/write-back puts and a background transfer
   manager promoting hot fragments and demoting cold ones under a byte
@@ -52,6 +57,13 @@ from repro.storage.remote import (
     ObjectBucket,
     RemoteFragmentStore,
 )
+from repro.storage.cluster import (
+    ClusterFragmentStore,
+    ClusterStats,
+    HashRing,
+    NodeStats,
+    Rebalancer,
+)
 from repro.storage.snapshot import SnapshotReport, restore_store, snapshot_store
 from repro.storage.tiered import TieredStore, TierStats, TransferManager
 from repro.storage.wal import CommitLog, CompactionReport, DurabilityStats
@@ -80,6 +92,11 @@ __all__ = [
     "TieredStore",
     "TierStats",
     "TransferManager",
+    "ClusterFragmentStore",
+    "ClusterStats",
+    "HashRing",
+    "NodeStats",
+    "Rebalancer",
     "CommitLog",
     "CompactionReport",
     "DurabilityStats",

@@ -371,6 +371,28 @@ class ResilienceStats:
     #: Breaker state name (``closed`` when no breaker is configured).
     breaker_state: str = "closed"
 
+    def merge(self, other: "ResilienceStats") -> "ResilienceStats":
+        """Fold *other*'s counters into this one; returns ``self``.
+
+        Counter fields sum; the breaker flags report the *worst* member
+        (any open breaker marks the merged state open, half-open beats
+        closed) — so a cluster store can aggregate per-node wrappers
+        into one snapshot without hiding a single dead node.
+        """
+        rank = {
+            CircuitBreaker.CLOSED: 0,
+            CircuitBreaker.HALF_OPEN: 1,
+            CircuitBreaker.OPEN: 2,
+        }
+        for fname in self.__dataclass_fields__:
+            if fname in ("breaker_is_open", "breaker_state"):
+                continue
+            setattr(self, fname, getattr(self, fname) + getattr(other, fname))
+        self.breaker_is_open = max(self.breaker_is_open, other.breaker_is_open)
+        if rank.get(other.breaker_state, 0) > rank.get(self.breaker_state, 0):
+            self.breaker_state = other.breaker_state
+        return self
+
 
 class ResilientStore(FragmentStore):
     """Retry + circuit-breaker wrapper around any fragment store.
@@ -590,14 +612,21 @@ def wrap_with_resilience(
 
     A :class:`~repro.storage.tiered.TieredStore` gets its **slow tier**
     wrapped in place — that is the fragile backend, and keeping the
-    tiered store outermost preserves its degraded-read behavior.  Any
-    other store is wrapped whole.  With neither *retry* nor *breaker*,
-    returns *store* unchanged.
+    tiered store outermost preserves its degraded-read behavior.  A
+    :class:`~repro.storage.cluster.ClusterFragmentStore` is returned
+    unchanged: it already wraps every node in its own
+    :class:`ResilientStore` + breaker, and an outer wrapper would defeat
+    per-node failover by retrying the whole fan-out.  Any other store is
+    wrapped whole.  With neither *retry* nor *breaker*, returns *store*
+    unchanged.
     """
     if retry is None and breaker is None:
         return store
+    from repro.storage.cluster import ClusterFragmentStore
     from repro.storage.tiered import TieredStore
 
+    if isinstance(store, ClusterFragmentStore):
+        return store
     if isinstance(store, TieredStore):
         if not isinstance(store.slow, ResilientStore):
             store.slow = ResilientStore(store.slow, retry=retry, breaker=breaker)

@@ -42,7 +42,8 @@ the log to its live entries and reclaims them, returning a
 
 :func:`open_store` is the one entry point deployments need: it accepts a
 plain directory path or a store URL (``file://``, ``sharded://``,
-``memory://``, ``http://``, ``tiered://`` — see ``docs/storage.md``) and
+``memory://``, ``http://``, ``tiered://``, ``cluster://`` — see
+``docs/storage.md``) and
 returns the right backend, auto-detecting on-disk layouts.  On-disk URLs
 accept ``?fsync=always|commit|off`` to pick the WAL's fsync discipline.
 """
@@ -161,7 +162,11 @@ def open_store(url: str) -> "FragmentStore":
       :class:`~repro.storage.remote.HTTPFragmentServer`,
     * ``tiered://FAST_DIR?slow=URL[&...]`` — a
       :class:`~repro.storage.tiered.TieredStore` composing a fast tier
-      over any slow backend (itself an ``open_store`` URL).
+      over any slow backend (itself an ``open_store`` URL),
+    * ``cluster://HOST:PORT,HOST:PORT,...[?replicas=K&vnodes=V&...]`` —
+      a :class:`~repro.storage.cluster.ClusterFragmentStore` sharding
+      and replicating one namespace over N fragment servers (see
+      ``docs/cluster.md`` for the grammar).
 
     On-disk schemes accept ``fsync=always|commit|off`` as a query
     parameter (plain paths take the default discipline).
@@ -193,9 +198,13 @@ def open_store(url: str) -> "FragmentStore":
         from repro.storage.tiered import TieredStore
 
         return TieredStore.from_url(url)
+    if scheme == "cluster":
+        from repro.storage.cluster import ClusterFragmentStore
+
+        return ClusterFragmentStore.from_url(url)
     raise ValueError(
         f"unknown store URL scheme {scheme!r} in {url!r} "
-        f"(known: file, sharded, memory, http, tiered)"
+        f"(known: file, sharded, memory, http, tiered, cluster)"
     )
 
 

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.storage.cluster import ClusterFragmentStore
 from repro.storage.remote import HTTPFragmentServer, HTTPFragmentStore
 from repro.storage.store import (
     DiskFragmentStore,
@@ -305,6 +306,99 @@ class TestHTTPScheme:
             _assert_same_index(reopened, fragments, server.url)
             assert reopened.get_many(list(fragments)) == fragments
             reopened.close()
+
+
+class TestClusterScheme:
+    """``cluster://`` round-trips: one namespace over N HTTP nodes."""
+
+    @pytest.fixture()
+    def nodes(self, tmp_path):
+        disks = [
+            ShardedDiskStore(str(tmp_path / f"n{i}"), fanout=4) for i in range(3)
+        ]
+        servers = [HTTPFragmentServer(disk) for disk in disks]
+        for server in servers:
+            server.start()
+        yield tmp_path, servers
+        for server in servers:
+            server.stop()
+        for disk in disks:
+            disk.close()
+
+    @staticmethod
+    def _url(servers, **params):
+        hosts = ",".join("%s:%d" % server.address for server in servers)
+        params.setdefault("replicas", 2)
+        params.setdefault("vnodes", 32)
+        query = "&".join(f"{k}={v}" for k, v in sorted(params.items()))
+        return f"cluster://{hosts}?{query}"
+
+    def test_cluster_reopen_sees_identical_index_with_reset_counters(self, nodes):
+        _, servers = nodes
+        url = self._url(servers)
+        fragments = {("v", f"s{i}"): bytes([i]) * (i + 1) for i in range(8)}
+
+        first = open_store(url)
+        assert isinstance(first, ClusterFragmentStore)
+        assert first.replicas == 2
+        first.put_many([(v, s, p) for (v, s), p in fragments.items()])
+        assert first.get_many(list(fragments)) == fragments
+        assert first.reads == len(fragments)
+        first.close()
+
+        # the same URL reopens onto the same nodes: identical union
+        # index (replicas deduplicated), counters reset
+        reopened = open_store(url)
+        _assert_same_index(reopened, fragments, url)
+        assert reopened.get_many(list(fragments)) == fragments
+        reopened.close()
+
+    def test_cluster_url_params_round_trip(self, nodes):
+        _, servers = nodes
+        store = open_store(self._url(servers, replicas=3, vnodes=16))
+        assert store.replicas == 3
+        snapshot = store.stats()
+        assert snapshot.vnodes == 16 and snapshot.nodes == 3
+        store.close()
+
+    def test_cluster_delete_compact_reopen_lands_on_every_node(self, nodes):
+        tmp_path, servers = nodes
+        url = self._url(servers)
+        fragments = {("v", f"s{i}"): bytes([i + 1]) * 16 for i in range(10)}
+        doomed = [("v", "s0"), ("v", "s1")]
+        survivors = {k: v for k, v in fragments.items() if k not in doomed}
+
+        store = open_store(url)
+        store.put_many([(v, s, p) for (v, s), p in fragments.items()])
+        for var, seg in doomed:
+            store.delete(var, seg)
+        with pytest.raises(KeyError):
+            store.get("v", "s0")
+        # K=2 replication: every doomed fragment left dead bytes on two
+        # nodes, and the merged compaction report reclaims both copies
+        assert store.durability().dead_bytes == 2 * sum(
+            len(fragments[k]) for k in doomed
+        )
+        report = store.compact()
+        assert report.removed_files == 2 * len(doomed)
+        assert store.durability().dead_bytes == 0
+        store.close()
+
+        reopened = open_store(url)
+        _assert_same_index(reopened, survivors, url)
+        assert reopened.get_many(list(survivors)) == survivors
+        reopened.close()
+
+        # the deletions and compaction landed in each node's disk store
+        for i in range(3):
+            disk = ShardedDiskStore(str(tmp_path / f"n{i}"), fanout=4)
+            assert not set(disk.keys()) & set(doomed), f"node {i}"
+            assert disk.durability().dead_bytes == 0, f"node {i}"
+            disk.close()
+
+    def test_cluster_url_requires_nodes(self):
+        with pytest.raises(ValueError, match="cluster"):
+            open_store("cluster://")
 
 
 class TestMemoryScheme:
