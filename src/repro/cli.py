@@ -404,6 +404,25 @@ def _cmd_stats(args) -> int:
         if stats.get("worst_degraded_ratio", 0.0) > 0:
             print(f"  worst degraded error/tolerance ratio: "
                   f"{stats['worst_degraded_ratio']:.2f}x")
+    planner = stats.get("planner")
+    if planner:
+        lookups = planner["plan_cache_hits"] + planner["plan_cache_misses"]
+        rate = planner["plan_cache_hits"] / lookups if lookups else 0.0
+        print(f"planner: {planner['plan_cache_hits']} plan hit(s) / "
+              f"{planner['plan_cache_misses']} miss(es) "
+              f"({100.0 * rate:.1f}% of {lookups} lookup(s)); "
+              f"{planner['representations_shared']} shared / "
+              f"{planner['representations_loaded']} loaded representation(s)")
+        print(f"  scheduler: {planner['merged_rounds']} merged round(s) over "
+              f"{planner['scheduler_ticks']} tick(s) -> "
+              f"{planner['coalesced_round_trips']} coalesced trip(s); "
+              f"{planner['deduped_fragments']} fragment(s) deduped, "
+              f"{planner['speculation_deduped']} speculation(s) deduped")
+        if planner["slow_tier_trips_budgeted"]:
+            print(f"  slow-tier budget: "
+                  f"{planner['slow_tier_trips_budgeted']} trip(s) budgeted, "
+                  f"{planner['slow_tier_throttle_waits']} throttled "
+                  f"({planner['slow_tier_throttle_wait_seconds']:.3f}s waited)")
     resilience = stats.get("resilience")
     if resilience and resilience.get("attempts"):
         print(f"resilience: {resilience['attempts']} store attempt(s), "
@@ -440,6 +459,9 @@ def _cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         client_rate=args.client_rate,
         hedge_delay_s=None if args.hedge_ms is None else args.hedge_ms / 1000.0,
+        shared_planner=not args.no_shared_planner,
+        coalesce_ms=args.coalesce_ms,
+        slow_trip_rate=args.slow_trips_per_s,
     )
     server = RetrievalServer(service, args.host, args.port)
     host, port = server.address
@@ -712,6 +734,18 @@ def make_parser() -> argparse.ArgumentParser:
                          help="seconds an open breaker waits before probing")
     p_serve.add_argument("--hedge-ms", type=float, default=None,
                          help="per-session straggler-fetch hedging delay in ms")
+    p_serve.add_argument("--no-shared-planner", action="store_true",
+                         help="disable the cross-request plan cache and "
+                              "round-merging fetch scheduler (results are "
+                              "bit-identical either way)")
+    p_serve.add_argument("--coalesce-ms", type=float, default=None,
+                         help="scheduler tick hold window for merging "
+                              "concurrent rounds (default ~2 ms; size to "
+                              "one fast-store round trip)")
+    p_serve.add_argument("--slow-trips-per-s", type=float, default=None,
+                         help="budget slow-tier / cluster-shard round trips "
+                              "to this many per second (over-budget rounds "
+                              "wait and keep merging; default unlimited)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(

@@ -70,6 +70,22 @@ class ProgressiveReader(abc.ABC):
         """
         return None
 
+    def plan_token(self) -> tuple | None:
+        """Hashable snapshot of the state :meth:`plan_segments` depends on.
+
+        A service-level plan cache memoizes ``plan_segments`` results
+        keyed on ``(variable, generation, plan_token(), eb)``: two
+        readers of the same archived representation in the same
+        incremental state plan identically, so the token must capture
+        *exactly* the reader state the plan is a function of (consumed
+        planes/snapshots, fetched coarse/lossless markers) — nothing
+        less (stale plans would break bit-identity) and nothing more
+        (over-keying just wastes the memo).  ``None`` (the default)
+        means the reader's plans are not cacheable and every
+        ``plan_segments`` call is computed fresh.
+        """
+        return None
+
     @abc.abstractmethod
     def reconstruct(self) -> np.ndarray:
         """Current reconstruction without fetching anything new."""

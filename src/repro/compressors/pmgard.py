@@ -226,6 +226,14 @@ class PMGARDReader(ProgressiveReader):
                 )
         return segments
 
+    def plan_token(self) -> tuple:
+        """Plan-cache state token: coarse fetched? + planes consumed per level."""
+        return (
+            "pmgard",
+            self._coarse is None,
+            tuple(dec.planes_consumed for dec in self._decoders),
+        )
+
     def use_executor(self, executor) -> None:
         """Run plane decode through *executor* (bit-identical to inline)."""
         for dec in self._decoders:

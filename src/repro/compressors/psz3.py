@@ -149,6 +149,10 @@ class PSZ3Reader(ProgressiveReader):
             return [] if "lossless" in self._fetched else [LOSSLESS_SEGMENT]
         return [] if snap in self._fetched else [snapshot_segment(snap)]
 
+    def plan_token(self) -> tuple:
+        """Plan-cache state token: current bound + fetched snapshot set."""
+        return ("psz3", float(self._bound), frozenset(self._fetched))
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         if eb >= self._bound:

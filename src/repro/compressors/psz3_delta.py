@@ -68,6 +68,12 @@ class PSZ3DeltaReader(ProgressiveReader):
             return [] if self._lossless_used else [LOSSLESS_SEGMENT]
         return [snapshot_segment(i) for i in range(self._consumed, target + 1)]
 
+    def plan_token(self) -> tuple:
+        """Plan-cache state token: chain position + lossless marker + bound."""
+        return (
+            "psz3_delta", self._consumed, self._lossless_used, float(self._bound)
+        )
+
     def request(self, eb: float) -> np.ndarray:
         eb = check_error_bound(eb)
         if eb >= self._bound:

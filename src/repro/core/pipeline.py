@@ -118,8 +118,17 @@ class FetchPipeline:
     sources are lock-protected).
     """
 
-    def __init__(self, config: PipelineConfig):
+    def __init__(self, config: PipelineConfig, sink=None):
         self.config = config
+        #: Optional *round sink* — an object with ``fetch(plans) -> int``
+        #: and ``fetch_speculative(plans) -> int`` (the service layer's
+        #: :class:`~repro.service.planner.FetchScheduler`).  With a sink,
+        #: each round's whole plan is handed over as ONE request instead
+        #: of byte-balanced private batches: the sink merges concurrent
+        #: sessions' rounds, dedups them, and coalesces the store round
+        #: trips itself.  Hedging still fetches directly (a hedge exists
+        #: to race a straggling fetch, not to queue behind it).
+        self._sink = sink
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=config.max_workers,
@@ -191,6 +200,16 @@ class FetchPipeline:
         if not entries:
             return []
         plans_of = lambda chunk: [(source, segments) for _, source, segments in chunk]  # noqa: E731
+        if self._sink is not None:
+            # round sink: the whole round is one request — no byte-split,
+            # the scheduler merges it with other sessions' concurrent
+            # rounds and coalesces per backing store itself
+            plans = plans_of(entries)
+            keys = [key for key, _, _ in entries]
+            if self._pool is None:
+                self.fragments_prefetched += self._sink.fetch(plans)
+                return [(keys, None, plans)]
+            return [(keys, self._pool.submit(self._sink.fetch, plans), plans)]
         if self._pool is None:
             prefetch_plans(plans_of(entries))
             return [([key for key, _, _ in entries], None, plans_of(entries))]
@@ -294,6 +313,10 @@ class FetchPipeline:
 
     def _safe_prefetch(self, plans) -> int:
         try:
+            if self._sink is not None:
+                # the sink's speculative path dedups against the shared
+                # cache's in-flight registry and swallows store errors
+                return self._sink.fetch_speculative(plans)
             return prefetch_plans(plans)
         except Exception:
             return 0

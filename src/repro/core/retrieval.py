@@ -207,6 +207,18 @@ class QoIRetriever:
             max_workers=int(max_workers),
             hedge_delay_s=None if hedge_delay_s is None else float(hedge_delay_s),
         )
+        #: Optional shared :class:`~repro.service.planner.QueryPlanner`
+        #: memoizing estimation seeds and ``plan_segments`` results
+        #: across sessions; the service layer wires it (duck-typed so
+        #: the core never imports the service tier).
+        self.planner = None
+        #: Per-variable generation the planner keys its memos on (the
+        #: service aliases its session's generation map here).
+        self.plan_generations: dict = {}
+        #: Optional round sink for the fetch pipeline (the service's
+        #: :class:`~repro.service.planner.FetchScheduler`) merging this
+        #: session's round fetches with other sessions' concurrently.
+        self.fetch_sink = None
 
     def add_variable(
         self, name: str, refactored, value_range: float, mask=None
@@ -304,6 +316,21 @@ class RetrievalSession:
         self._ebs.pop(variable, None)
         self._achieved.pop(variable, None)
 
+    def _plan_segments(self, variable: str, reader, eb: float):
+        """One variable's round plan, through the shared planner when wired.
+
+        The planner memoizes on ``(variable, generation, reader state
+        token, exact eb)`` — bit-identical to asking the reader, just
+        shared across every session of a service.
+        """
+        planner = self._retriever.planner
+        if planner is None:
+            return reader.plan_segments(eb)
+        return planner.plan_segments(
+            reader, variable,
+            self._retriever.plan_generations.get(variable, 0), eb,
+        )
+
     def retrieve(
         self,
         requests,
@@ -342,11 +369,21 @@ class RetrievalSession:
         # Algorithm 3, vectorized across variables; the minimum with the
         # session's existing bounds seeds only what is not tightened yet
         request_vars = [r.qoi.variables() for r in requests]
-        seeds = seed_bounds(
-            [retriever._ranges[v] for v in involved],
-            [[v in rv for v in involved] for rv in request_vars],
-            [r.tolerance for r in requests],
-        )
+        if retriever.planner is not None:
+            # memoized across sessions: the value ranges are part of the
+            # key, so a live ingest changing one can never serve stale
+            # seeds (and identical request ladders hit without recompute)
+            seeds = retriever.planner.seed_bounds(
+                tuple(float(retriever._ranges[v]) for v in involved),
+                tuple(tuple(v in rv for v in involved) for rv in request_vars),
+                tuple(float(r.tolerance) for r in requests),
+            )
+        else:
+            seeds = seed_bounds(
+                [retriever._ranges[v] for v in involved],
+                [[v in rv for v in involved] for rv in request_vars],
+                [r.tolerance for r in requests],
+            )
         for v, seed in zip(involved, seeds):
             self._ebs[v] = min(self._ebs.get(v, np.inf), float(seed))
         ebs = self._ebs
@@ -360,7 +397,9 @@ class RetrievalSession:
                 hedge_delay_s=config.hedge_delay_s if hedge_delay_s is None else float(hedge_delay_s),
             )
         sources = pipeline_sources({v: retriever._refactored[v] for v in involved})
-        pipe = FetchPipeline(config) if sources else None
+        pipe = (
+            FetchPipeline(config, sink=retriever.fetch_sink) if sources else None
+        )
         c = retriever.reduction_factor
         deadline = None if deadline_s is None else perf_counter() + float(deadline_s)
         if pipe is not None:
@@ -478,7 +517,7 @@ class RetrievalSession:
                         source = sources.get(v)
                         if source is None:
                             continue
-                        segments = readers[v].plan_segments(ebs[v])
+                        segments = self._plan_segments(v, readers[v], ebs[v])
                         if segments is not None:
                             entries.append((v, source, segments))
                     # fetch stage: coalesced, byte-balanced get_many batches;
@@ -531,7 +570,7 @@ class RetrievalSession:
                             spec_eb = ebs[v] / factor
                             if source is None or not spec_eb > 0.0:
                                 continue
-                            segments = readers[v].plan_segments(spec_eb)
+                            segments = self._plan_segments(v, readers[v], spec_eb)
                             if segments:
                                 plans.append((source, segments))
                         if not plans or not pipe.speculate(plans):

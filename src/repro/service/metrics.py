@@ -49,10 +49,13 @@ def render_metrics(stats: ServiceStats) -> str:
     Every counter of the ``repro stats`` surface becomes one
     ``repro_<path>`` sample (nested dataclasses flatten with ``_``
     separators, e.g. ``repro_durability_dead_bytes``); the derived cache
-    hit rate is added as ``repro_cache_hit_rate``.
+    hit rate is added as ``repro_cache_hit_rate`` (and the planner's as
+    ``repro_planner_plan_cache_hit_rate`` when the shared planner runs).
     """
     payload = asdict(stats)
     payload["cache"]["hit_rate"] = stats.cache.hit_rate
+    if stats.planner is not None:
+        payload["planner"]["plan_cache_hit_rate"] = stats.planner.plan_cache_hit_rate
     samples: list = []
     _flatten("repro", payload, samples)
     lines = []

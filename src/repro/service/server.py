@@ -142,6 +142,10 @@ class _ClientHandler(socketserver.StreamRequestHandler):
             stats = service.stats()
             payload = asdict(stats)
             payload["cache"]["hit_rate"] = stats.cache.hit_rate
+            if stats.planner is not None:
+                payload["planner"]["plan_cache_hit_rate"] = (
+                    stats.planner.plan_cache_hit_rate
+                )
             return {"ok": True, "stats": payload}
         if op == "health":
             from repro.service.metrics import health_payload

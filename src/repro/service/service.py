@@ -57,8 +57,9 @@ from repro.core.retrieval import QoIRetriever, RetrievalResult, RetrievalSession
 from repro.storage.archive import Archive
 from repro.storage.cache import CacheStats, CachingFragmentStore, DEFAULT_CACHE_BYTES, FragmentCache
 from repro.storage.cluster import ClusterFragmentStore, ClusterStats
+from repro.service.planner import FetchScheduler, PlannerStats, QueryPlanner
 from repro.storage.metadata import MANIFEST_SEGMENT, MANIFEST_VARIABLE, DatasetManifest
-from repro.storage.resilience import ResilienceStats
+from repro.storage.resilience import ResilienceStats, TripBudget
 from repro.storage.store import DiskFragmentStore, FragmentStore, ShardedDiskStore, open_store
 from repro.storage.tiered import TieredStore, TierStats
 from repro.storage.wal import CompactionReport, DurabilityStats
@@ -185,6 +186,7 @@ class ServiceStats:
     worst_degraded_ratio: float = 0.0
     resilience: ResilienceStats | None = None
     cluster: ClusterStats | None = None
+    planner: PlannerStats | None = None
 
 
 class RetrievalService:
@@ -237,6 +239,27 @@ class RetrievalService:
     hedge_delay_s:
         Straggler hedging delay for every client session's fetch
         pipeline (see :class:`~repro.core.pipeline.PipelineConfig`).
+    shared_planner:
+        Run the cross-request :class:`~repro.service.planner.QueryPlanner`
+        and :class:`~repro.service.planner.FetchScheduler` (the default):
+        concurrent sessions share one plan cache, and their fetch rounds
+        merge into one coalesced store round trip per tick.  Results are
+        bit-identical either way; set False to restore fully independent
+        per-session planning.
+    coalesce_ms:
+        How long a scheduling tick holds its first round open for
+        concurrent rounds to join (``None`` follows
+        :data:`~repro.service.planner.DEFAULT_COALESCE_WINDOW_S`).
+        Size it to roughly one fast-store round trip: larger windows
+        merge unaligned rounds harder at the cost of that much added
+        per-round latency for a solo client.
+    slow_trip_rate / slow_trip_burst:
+        Budget slow-tier round trips (tiered backend's capacity tier,
+        cluster shard fan-outs) to *rate* trips/second with *burst*
+        headroom via a :class:`~repro.storage.resilience.TripBudget`.
+        Over-budget rounds *wait* (they are admitted work), and queued
+        rounds keep merging in the scheduler while they do.  ``None``
+        (default) disables budgeting.
     """
 
     def __init__(
@@ -256,6 +279,10 @@ class RetrievalService:
         client_rate: float | None = None,
         client_burst: float | None = None,
         hedge_delay_s: float | None = None,
+        shared_planner: bool = True,
+        coalesce_ms: float | None = None,
+        slow_trip_rate: float | None = None,
+        slow_trip_burst: float | None = None,
     ):
         from repro.parallel.executor import make_executor
 
@@ -307,6 +334,37 @@ class RetrievalService:
         self._hedged_fetches = 0
         self._worst_degraded_ratio = 0.0
         self._latency_ewma_s = 0.0  # recent retrieval wall time
+        self.planner = QueryPlanner() if shared_planner else None
+        self.scheduler = None
+        if shared_planner:
+            scheduler_kwargs = {}
+            if coalesce_ms is not None:
+                scheduler_kwargs["coalesce_window_s"] = float(coalesce_ms) / 1000.0
+            self.scheduler = FetchScheduler(
+                self.planner, cache=self.cache, **scheduler_kwargs
+            )
+        self.trip_budget = None
+        if slow_trip_rate is not None:
+            self.trip_budget = TripBudget(float(slow_trip_rate), slow_trip_burst)
+            self._install_trip_budget(store)
+
+    def _install_trip_budget(self, store) -> None:
+        """Hook the service's TripBudget onto every slow-trip layer.
+
+        Walks the ``.inner`` decoration chain (resilience wrappers etc.)
+        and sets ``trip_budget`` on any layer that exposes the attribute
+        — :class:`~repro.storage.tiered.TieredStore` (slow-tier gets) and
+        :class:`~repro.storage.cluster.ClusterFragmentStore` (per-shard
+        fan-outs).  A cluster of tiered nodes would budget at the
+        cluster layer only; node-local tiers are behind the network hop.
+        """
+        seen: set = set()
+        layer = store
+        while layer is not None and id(layer) not in seen:
+            seen.add(id(layer))
+            if hasattr(layer, "trip_budget"):
+                layer.trip_budget = self.trip_budget
+            layer = getattr(layer, "inner", None)
 
     @classmethod
     def open(
@@ -368,12 +426,20 @@ class RetrievalService:
         """Load one archived variable through the shared cache.
 
         ``lazy=None`` follows the service's ``lazy_loading`` default.
+        With the shared planner on, loads memoize on
+        ``(variable, generation)`` with single-flight, so N concurrent
+        sessions opening one variable cost one archive load; an explicit
+        *lazy* override bypasses the memo (it changes the load shape).
         """
         with self._lock:
             self._variables_loaded += 1
-        return self.archive.load(
-            variable, lazy=self.lazy_loading if lazy is None else lazy
-        )
+            generation = self._generations.get(variable, 0)
+        use_lazy = self.lazy_loading if lazy is None else lazy
+        if self.planner is not None and lazy is None:
+            return self.planner.load(
+                variable, generation, lambda: self.archive.load(variable, lazy=use_lazy)
+            )
+        return self.archive.load(variable, lazy=use_lazy)
 
     def ingest(
         self,
@@ -434,8 +500,11 @@ class RetrievalService:
                         else name
                     )
                     # the memoized fragment source would serve superseded
-                    # payloads to later lazy loads — drop it
+                    # payloads to later lazy loads — drop it, and every
+                    # planner memo (representation, plans, seeds) with it
                     self.archive.invalidate_source(archived)
+                    if self.planner is not None:
+                        self.planner.invalidate(archived)
                     self._ranges[archived] = (
                         self.manifest.variables[archived].value_range
                     )
@@ -540,6 +609,8 @@ class RetrievalService:
         are process-wide shared instances (released atexit), and an
         instance passed in belongs to its caller.
         """
+        if self.scheduler is not None:
+            self.scheduler.close()
         self._inner.close()
 
     def stats(self) -> ServiceStats:
@@ -552,6 +623,14 @@ class RetrievalService:
             cluster = self._inner.stats()
         resilience_of = getattr(self._inner, "resilience", None)
         resilience = resilience_of() if callable(resilience_of) else None
+        planner_stats = self.planner.stats() if self.planner is not None else None
+        if self.trip_budget is not None:
+            if planner_stats is None:
+                planner_stats = PlannerStats()
+            budget = self.trip_budget.snapshot()
+            planner_stats.slow_tier_trips_budgeted = budget["acquires"]
+            planner_stats.slow_tier_throttle_waits = budget["waits"]
+            planner_stats.slow_tier_throttle_wait_seconds = budget["wait_seconds"]
         with self._lock:
             return ServiceStats(
                 sessions_opened=self._sessions_opened,
@@ -581,6 +660,7 @@ class RetrievalService:
                 worst_degraded_ratio=self._worst_degraded_ratio,
                 resilience=resilience,
                 cluster=cluster,
+                planner=planner_stats,
             )
 
 
@@ -609,6 +689,14 @@ class ClientSession:
         )
         self._session = RetrievalSession(self._retriever)
         self._generations: dict = {}  # variable -> generation loaded at
+        if service.planner is not None:
+            # share the service planner's memos and route this session's
+            # fetch rounds through the merging scheduler; the retriever's
+            # generation map aliases ours so _ensure_variables keeps the
+            # planner's memo keys current for free
+            self._retriever.planner = service.planner
+            self._retriever.fetch_sink = service.scheduler
+            self._retriever.plan_generations = self._generations
         self._closed = False
 
     def _ensure_variables(self, requests) -> None:

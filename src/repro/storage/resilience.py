@@ -54,9 +54,94 @@ __all__ = [
     "CircuitBreaker",
     "ResilienceStats",
     "ResilientStore",
+    "TripBudget",
     "policy_from_params",
     "wrap_with_resilience",
 ]
+
+
+class TripBudget:
+    """Blocking token bucket rate-limiting slow-path store round trips.
+
+    The admission-control token bucket (PR 8) guards the service's front
+    door — requests per client.  This is the same idea pushed *down* the
+    stack: each token admits one slow-backend round trip (a
+    :class:`~repro.storage.tiered.TieredStore` slow-tier read, one
+    shard's ``get_many`` in a cluster fetch), so however many sessions a
+    service serves, the archive of record sees at most ``rate`` trips
+    per second with ``burst`` of headroom.  Unlike the front-door bucket
+    it *blocks* instead of shedding: a round trip is already admitted
+    work, so the right behavior under pressure is to queue — and while a
+    fetch queues here, the service's round scheduler keeps accumulating
+    concurrent sessions' plans, so budget pressure literally makes
+    rounds merge harder rather than fail.
+
+    Thread-safe.  ``acquire`` returns the seconds it waited (0.0 for a
+    free token); ``waits``/``wait_seconds``/``acquires`` are the
+    counters the service surfaces as ``slow_tier_throttle_*`` stats.
+    *clock* and *sleep* are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.rate = float(rate)
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        self.burst = max(1.0, self.rate) if burst is None else float(burst)
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1")
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._stamp = clock()
+        #: Acquires that had to wait at least one refill.
+        self.waits = 0
+        #: Total seconds spent waiting across all acquires.
+        self.wait_seconds = 0.0
+        #: Round trips admitted (every acquire eventually succeeds).
+        self.acquires = 0
+
+    def acquire(self) -> float:
+        """Take one trip token, sleeping until the bucket refills it.
+
+        Returns the seconds this call waited.  Fair enough in practice:
+        sleeping callers re-contend on wakeup, and the service's round
+        scheduler is typically the only caller anyway (one thread
+        draining a merge queue).
+        """
+        waited = 0.0
+        while True:
+            with self._lock:
+                now = self._clock()
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._stamp) * self.rate
+                )
+                self._stamp = now
+                if self._tokens >= 1.0:
+                    self._tokens -= 1.0
+                    self.acquires += 1
+                    if waited > 0.0:
+                        self.waits += 1
+                        self.wait_seconds += waited
+                    return waited
+                shortfall = (1.0 - self._tokens) / self.rate
+            self._sleep(shortfall)
+            waited += shortfall
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict (for stats plumbing)."""
+        with self._lock:
+            return {
+                "waits": self.waits,
+                "wait_seconds": self.wait_seconds,
+                "acquires": self.acquires,
+            }
 
 
 class FaultStoreError(ConnectionError):

@@ -173,6 +173,13 @@ class TieredStore(FragmentStore):
         self._tstats = TierStats(
             fast_budget_bytes=self.fast_budget_bytes or 0,
         )
+        #: Optional :class:`~repro.storage.resilience.TripBudget` gating
+        #: client-visible slow-tier round trips (the service installs
+        #: one when ``slow_trip_rate`` is configured).  Background
+        #: transfer traffic is deliberately exempt — throttling
+        #: promotion would starve the mechanism that *reduces* slow
+        #: trips — and hedged duplicate reads bypass the store entirely.
+        self.trip_budget = None
         self.transfer = TransferManager(
             self,
             interval=float(transfer_interval),
@@ -307,6 +314,8 @@ class TieredStore(FragmentStore):
         if payload is not None:
             self._note_fast([key], len(payload))
         else:
+            if self.trip_budget is not None:
+                self.trip_budget.acquire()
             try:
                 payload = self.slow.get(variable, segment)
             except Exception as exc:
@@ -347,6 +356,8 @@ class TieredStore(FragmentStore):
             else:
                 self._note_fast(fast_keys, sum(len(out[k]) for k in fast_keys))
         if slow_keys:
+            if self.trip_budget is not None:
+                self.trip_budget.acquire()
             try:
                 served = self.slow.get_many(slow_keys)
             except Exception as exc:

@@ -502,6 +502,32 @@ class TestServiceIngest:
                 second.data["p"], new, atol=1e-3 * np.ptp(new) + 1e-3
             )
 
+    def test_planner_memos_invalidate_on_live_ingest(self):
+        """The shared planner's memos (representation, plans, seeds) must
+        drop on the per-variable generation bump a live ingest makes —
+        a stale memoized plan would name segments of the superseded
+        layout and a stale representation would decode old bytes."""
+        service = self._service()  # shared_planner defaults on
+        assert service.planner is not None
+        old = np.linspace(0.0, 1.0, 240).reshape(16, 15)
+        service.ingest({"p": old}, method="pmgard_hb")
+        self._retrieve_identity(service, "p")  # memoize rep + plans
+        memo_before = service.planner.stats()
+        assert memo_before.representations_loaded >= 1
+        new = old * 2.0 + 7.0
+        service.ingest({"p": new}, method="pmgard_hb")
+        # a fresh session must get the new data through fresh memos
+        result = self._retrieve_identity(service, "p")
+        assert np.allclose(result.data["p"], new, atol=1e-3 * np.ptp(new) + 1e-3)
+        memo_after = service.planner.stats()
+        assert (
+            memo_after.representations_loaded
+            > memo_before.representations_loaded
+        ), "replaced variable must reload, not serve the memoized rep"
+        # memo keys carry the generation: no post-ingest lookup may hit
+        # a pre-ingest plan (hits can only come from post-ingest reuse)
+        assert service.variable_generation("p") == 2
+
     def test_timestep_ingest_and_stats_counters(self):
         service = self._service()
         data = np.linspace(0.0, 1.0, 64).reshape(8, 8)
